@@ -1,0 +1,186 @@
+// Command serethsim regenerates the paper's experiments on the simulated
+// network: the Figure-2 sweep (transaction efficiency vs buy:set ratio
+// for the three client/miner configurations), the sequential-history
+// sanity check, and the ablations catalogued in DESIGN.md §3.
+//
+// Usage:
+//
+//	serethsim -experiment figure2 -runs 10
+//	serethsim -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sereth/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serethsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("serethsim", flag.ContinueOnError)
+	experiment := fs.String("experiment", "figure2",
+		"one of: figure2, sequential, participation, gossip, interval, extendheads, all")
+	runs := fs.Int("runs", 10, "seeded runs per data point")
+	quick := fs.Bool("quick", false, "smaller sweep for a fast check")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	seeds := sim.DefaultSeeds(*runs)
+
+	experiments := map[string]func([]int64, bool) error{
+		"figure2":       runFigure2,
+		"sequential":    runSequential,
+		"participation": runParticipation,
+		"gossip":        runGossip,
+		"interval":      runInterval,
+		"extendheads":   runExtendHeads,
+	}
+	if *experiment == "all" {
+		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads"} {
+			fmt.Printf("\n=== %s ===\n", name)
+			if err := experiments[name](seeds, *quick); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := experiments[*experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return fn(seeds, *quick)
+}
+
+func runFigure2(seeds []int64, quick bool) error {
+	setCounts := sim.Figure2SetCounts
+	if quick {
+		setCounts = []int{50, 10}
+	}
+	points, err := sim.RunFigure2(setCounts, seeds, func(line string) {
+		fmt.Println(line)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(sim.FormatSweep(points))
+	printFigure2Summary(points)
+	return nil
+}
+
+// printFigure2Summary reports the paper's headline claims against the
+// measured sweep.
+func printFigure2Summary(points []sim.SweepPoint) {
+	byKey := map[string]map[int]float64{}
+	for _, p := range points {
+		if byKey[p.Scenario] == nil {
+			byKey[p.Scenario] = map[int]float64{}
+		}
+		byKey[p.Scenario][p.Sets] = p.Eta.Mean
+	}
+	var ratios []float64
+	var count int
+	for sets, geth := range byKey["geth_unmodified"] {
+		if sereth, ok := byKey["sereth_client"][sets]; ok && geth > 0 {
+			ratios = append(ratios, sereth/geth)
+			count++
+		}
+	}
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+	}
+	if count > 0 {
+		fmt.Printf("\nsereth_client / geth_unmodified mean improvement: %.1fx over %d ratios (paper: ~5x)\n",
+			sum/float64(count), count)
+	}
+	var semSum float64
+	var semN int
+	for _, eta := range byKey["semantic_mining"] {
+		semSum += eta
+		semN++
+	}
+	if semN > 0 {
+		fmt.Printf("semantic_mining mean efficiency: %.0f%% (paper: ~80%%)\n", 100*semSum/float64(semN))
+	}
+}
+
+func runSequential(seeds []int64, _ bool) error {
+	for _, seed := range seeds {
+		res, err := sim.SequentialHistory(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seed=%-6d buys η=%.3f sets η=%.3f (paper: exactly 1.0)\n",
+			seed, res.Efficiency(), res.SetEfficiency())
+	}
+	return nil
+}
+
+func runParticipation(seeds []int64, quick bool) error {
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
+	if quick {
+		fractions = []float64{0, 1}
+	}
+	points, err := sim.RunParticipation(fractions, seeds, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Println("semantic-miner fraction vs η (paper §V-C: benefits proportional to participation)")
+	for _, p := range points {
+		fmt.Printf("fraction=%.2f  η=%.3f ±%.3f\n", p.Fraction, p.Eta.Mean, p.Eta.CI90)
+	}
+	return nil
+}
+
+func runGossip(seeds []int64, quick bool) error {
+	latencies := []uint64{50, 250, 1000, 5000, 15000}
+	if quick {
+		latencies = []uint64{50, 5000}
+	}
+	points, err := sim.RunGossip(latencies, seeds, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Println("gossip latency vs sereth_client η (paper §V-C: impeded TxPool propagation degrades)")
+	for _, p := range points {
+		fmt.Printf("latency=%-6dms  η=%.3f ±%.3f\n", p.LatencyMs, p.Eta.Mean, p.Eta.CI90)
+	}
+	return nil
+}
+
+func runInterval(seeds []int64, quick bool) error {
+	intervals := []uint64{250, 500, 1000, 2000}
+	if quick {
+		intervals = []uint64{500, 2000}
+	}
+	points, err := sim.RunInterval(intervals, seeds, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("submit interval vs geth η at 20:1 (paper §V-A: high ratios sensitive to interval)")
+	for _, p := range points {
+		fmt.Printf("interval=%-5dms  η=%.3f ±%.3f\n", p.IntervalMs, p.Eta.Mean, p.Eta.CI90)
+	}
+	return nil
+}
+
+func runExtendHeads(seeds []int64, _ bool) error {
+	points, err := sim.RunExtendHeads(seeds, 50)
+	if err != nil {
+		return err
+	}
+	fmt.Println("HMS head extension vs η (paper §V-C: extension could approach 100%)")
+	for _, p := range points {
+		fmt.Printf("extended=%-5v  η=%.3f ±%.3f\n", p.Extended, p.Eta.Mean, p.Eta.CI90)
+	}
+	return nil
+}

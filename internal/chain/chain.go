@@ -1,0 +1,316 @@
+// Package chain implements the blockchain: block storage, the state
+// transition function, and validation by transaction replay (paper
+// §II-D). Failed transactions stay in their block and consume gas but
+// leave no state effects — they count toward raw throughput and against
+// state throughput.
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sereth/internal/evm"
+	"sereth/internal/statedb"
+	"sereth/internal/types"
+	"sereth/internal/wallet"
+)
+
+// Chain errors.
+var (
+	ErrUnknownParent   = errors.New("chain: unknown parent block")
+	ErrBadNumber       = errors.New("chain: non-sequential block number")
+	ErrBadStateRoot    = errors.New("chain: state root mismatch after replay")
+	ErrBadTxRoot       = errors.New("chain: transaction root mismatch")
+	ErrBadReceiptRoot  = errors.New("chain: receipt root mismatch")
+	ErrBadGasUsed      = errors.New("chain: gas-used mismatch")
+	ErrBadSeal         = errors.New("chain: invalid proof-of-work seal")
+	ErrBadSignature    = errors.New("chain: invalid transaction signature")
+	ErrBadNonce        = errors.New("chain: invalid transaction nonce")
+	ErrGasLimitreached = errors.New("chain: block gas limit exceeded")
+)
+
+// Config parameterizes a chain instance.
+type Config struct {
+	// GasLimit is the per-block gas limit.
+	GasLimit uint64
+	// Difficulty gates the PoW seal; zero disables seal checking (the
+	// experiments elect a sealer instead of racing, see DESIGN.md §5).
+	Difficulty uint64
+	// Registry verifies transaction signatures; nil skips verification.
+	Registry *wallet.Registry
+}
+
+// DefaultConfig mirrors the paper's private-net parameterization: blocks
+// large enough for O(10^1..10^2) transactions.
+func DefaultConfig() Config {
+	return Config{GasLimit: 10_000_000}
+}
+
+// Chain is an append-only blockchain with replay validation. Safe for
+// concurrent use.
+type Chain struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	blocks   []*types.Block
+	byHash   map[types.Hash]*types.Block
+	receipts map[types.Hash][]*types.Receipt // block hash -> receipts
+	state    *statedb.StateDB                // post-head state
+}
+
+// New creates a chain whose genesis commits the given pre-state.
+func New(cfg Config, genesisState *statedb.StateDB) *Chain {
+	if genesisState == nil {
+		genesisState = statedb.New()
+	}
+	state := genesisState.Copy()
+	genesis := &types.Block{Header: &types.Header{
+		Number:    0,
+		StateRoot: state.Root(),
+		GasLimit:  cfg.GasLimit,
+	}}
+	c := &Chain{
+		cfg:      cfg,
+		blocks:   []*types.Block{genesis},
+		byHash:   map[types.Hash]*types.Block{genesis.Hash(): genesis},
+		receipts: map[types.Hash][]*types.Receipt{},
+		state:    state,
+	}
+	return c
+}
+
+// Config returns the chain configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+// Head returns the current head block.
+func (c *Chain) Head() *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[len(c.blocks)-1]
+}
+
+// Height returns the head block number.
+func (c *Chain) Height() uint64 { return c.Head().Number() }
+
+// BlockByNumber returns the block at the given height, or nil.
+func (c *Chain) BlockByNumber(n uint64) *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if n >= uint64(len(c.blocks)) {
+		return nil
+	}
+	return c.blocks[n]
+}
+
+// BlockByHash returns the block with the given hash, or nil.
+func (c *Chain) BlockByHash(h types.Hash) *types.Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byHash[h]
+}
+
+// Receipts returns the receipts of a block by hash.
+func (c *Chain) Receipts(blockHash types.Hash) []*types.Receipt {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.receipts[blockHash]
+}
+
+// State returns a copy of the post-head world state.
+func (c *Chain) State() *statedb.StateDB {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.state.Copy()
+}
+
+// ReadState runs fn against the live head state under the chain lock;
+// fn must not mutate the state. Cheaper than State() for point reads.
+func (c *Chain) ReadState(fn func(*statedb.StateDB)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(c.state)
+}
+
+// ApplyTransaction executes one transaction against st. It returns the
+// receipt; the error return is reserved for transactions that may not
+// appear in a block at all (bad signature / nonce). Logical failures
+// (reverts, EVM faults, contract-reported no-ops) produce a Failed
+// receipt with every state effect rolled back.
+func (c *Chain) ApplyTransaction(st *statedb.StateDB, header *types.Header, tx *types.Transaction, txIndex int) (*types.Receipt, error) {
+	if c.cfg.Registry != nil {
+		if err := c.cfg.Registry.VerifyTx(tx); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSignature, err)
+		}
+	}
+	if st.GetNonce(tx.From) != tx.Nonce {
+		return nil, fmt.Errorf("%w: account %d, tx %d", ErrBadNonce, st.GetNonce(tx.From), tx.Nonce)
+	}
+	st.SetNonce(tx.From, tx.Nonce+1)
+
+	intrinsic := evm.IntrinsicGas(tx.Data)
+	receipt := &types.Receipt{
+		TxHash:      tx.Hash(),
+		BlockNumber: header.Number,
+		TxIndex:     txIndex,
+	}
+	if intrinsic > tx.GasLimit {
+		receipt.Status = types.StatusFailed
+		receipt.GasUsed = tx.GasLimit
+		return receipt, nil
+	}
+
+	snap := st.Snapshot()
+	if tx.Value > 0 {
+		if !st.SubBalance(tx.From, tx.Value) {
+			receipt.Status = types.StatusFailed
+			receipt.GasUsed = intrinsic
+			return receipt, nil
+		}
+		st.AddBalance(tx.To, tx.Value)
+	}
+
+	// Transactions execute WITHOUT RAA: calldata is signature-protected
+	// (paper §III-D), so the interpreter sees it verbatim.
+	machine := evm.New(st, evm.BlockContext{Number: header.Number, Time: header.Time})
+	res := machine.Call(evm.CallContext{
+		Caller:   tx.From,
+		Contract: tx.To,
+		Input:    tx.Data,
+		Value:    tx.Value,
+		GasPrice: tx.GasPrice,
+		Gas:      tx.GasLimit - intrinsic,
+	})
+	receipt.GasUsed = intrinsic + res.GasUsed
+	receipt.ReturnValue = res.ReturnWord()
+
+	switch {
+	case res.Err != nil:
+		// EVM fault or revert: roll back in place.
+		st.RevertToSnapshot(snap)
+		receipt.Status = types.StatusFailed
+	case st.Snapshot() == snap:
+		// No state effect beyond the nonce bump: the contract rejected
+		// the operation (stale mark/price) — the paper's "failed"
+		// transaction, included but rolled back.
+		receipt.Status = types.StatusFailed
+	default:
+		receipt.Status = types.StatusSucceeded
+	}
+	return receipt, nil
+}
+
+// ExecuteBlock replays a block body against a parent state copy and
+// returns the receipts, the post state, and the total gas used. Used by
+// miners to build blocks and by validators to replay them.
+func (c *Chain) ExecuteBlock(parentState *statedb.StateDB, header *types.Header, txs []*types.Transaction) ([]*types.Receipt, *statedb.StateDB, uint64, error) {
+	st := parentState.Copy()
+	receipts := make([]*types.Receipt, 0, len(txs))
+	var gasUsed uint64
+	for i, tx := range txs {
+		if gasUsed+tx.GasLimit > c.cfg.GasLimit {
+			return nil, nil, 0, ErrGasLimitreached
+		}
+		receipt, err := c.ApplyTransaction(st, header, tx, i)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("tx %d: %w", i, err)
+		}
+		gasUsed += receipt.GasUsed
+		receipts = append(receipts, receipt)
+	}
+	st.DiscardJournal()
+	return receipts, st, gasUsed, nil
+}
+
+// InsertBlock validates a block by full replay (every peer re-executes
+// the body and checks the roots, §II-D) and appends it to the chain.
+func (c *Chain) InsertBlock(block *types.Block) ([]*types.Receipt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	head := c.blocks[len(c.blocks)-1]
+	if block.Header.ParentHash != head.Hash() {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownParent, block.Header.ParentHash.Hex())
+	}
+	if block.Header.Number != head.Number()+1 {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrBadNumber, block.Header.Number, head.Number()+1)
+	}
+	if err := c.verifySeal(block.Header); err != nil {
+		return nil, err
+	}
+	if got := types.DeriveTxRoot(block.Txs); got != block.Header.TxRoot {
+		return nil, ErrBadTxRoot
+	}
+
+	receipts, postState, gasUsed, err := c.ExecuteBlock(c.state, block.Header, block.Txs)
+	if err != nil {
+		return nil, err
+	}
+	if gasUsed != block.Header.GasUsed {
+		return nil, fmt.Errorf("%w: replay %d, header %d", ErrBadGasUsed, gasUsed, block.Header.GasUsed)
+	}
+	if got := types.DeriveReceiptRoot(receipts); got != block.Header.ReceiptRoot {
+		return nil, ErrBadReceiptRoot
+	}
+	if got := postState.Root(); got != block.Header.StateRoot {
+		return nil, fmt.Errorf("%w: replay %s, header %s", ErrBadStateRoot, got.Hex(), block.Header.StateRoot.Hex())
+	}
+
+	c.blocks = append(c.blocks, block)
+	c.byHash[block.Hash()] = block
+	c.receipts[block.Hash()] = receipts
+	c.state = postState
+	return receipts, nil
+}
+
+// verifySeal checks the PoW target when difficulty is enabled.
+func (c *Chain) verifySeal(h *types.Header) error {
+	if c.cfg.Difficulty == 0 {
+		return nil
+	}
+	if !SealValid(h, c.cfg.Difficulty) {
+		return ErrBadSeal
+	}
+	return nil
+}
+
+// SealValid reports whether the header's PoW nonce satisfies the
+// difficulty target: the first 8 bytes of Keccak(sealHash ‖ nonce),
+// interpreted big-endian, must be below 2^64 / difficulty.
+func SealValid(h *types.Header, difficulty uint64) bool {
+	if difficulty <= 1 {
+		return true
+	}
+	digest := sealDigest(h)
+	target := ^uint64(0) / difficulty
+	return digest <= target
+}
+
+func sealDigest(h *types.Header) uint64 {
+	seal := h.SealHash()
+	var nonceBytes [8]byte
+	for i := 0; i < 8; i++ {
+		nonceBytes[7-i] = byte(h.PowNonce >> (8 * i))
+	}
+	digest := types.Keccak(seal[:], nonceBytes[:])
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(digest[i])
+	}
+	return v
+}
+
+// Seal searches nonces until the header satisfies the difficulty, up to
+// maxIter attempts. It reports whether a valid nonce was found.
+func Seal(h *types.Header, difficulty, maxIter uint64) bool {
+	if difficulty <= 1 {
+		return true
+	}
+	for i := uint64(0); i < maxIter; i++ {
+		h.PowNonce = i
+		if SealValid(h, difficulty) {
+			return true
+		}
+	}
+	return false
+}

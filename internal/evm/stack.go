@@ -1,0 +1,120 @@
+package evm
+
+import (
+	"errors"
+
+	"sereth/internal/uint256"
+)
+
+// StackLimit is the maximum EVM stack depth.
+const StackLimit = 1024
+
+// Stack errors.
+var (
+	ErrStackUnderflow = errors.New("evm: stack underflow")
+	ErrStackOverflow  = errors.New("evm: stack overflow")
+)
+
+// stack is the EVM operand stack of 256-bit words.
+type stack struct {
+	data []uint256.Int
+}
+
+func newStack() *stack {
+	return &stack{data: make([]uint256.Int, 0, 16)}
+}
+
+func (s *stack) len() int { return len(s.data) }
+
+func (s *stack) push(v uint256.Int) error {
+	if len(s.data) >= StackLimit {
+		return ErrStackOverflow
+	}
+	s.data = append(s.data, v)
+	return nil
+}
+
+func (s *stack) pop() (uint256.Int, error) {
+	if len(s.data) == 0 {
+		return uint256.Zero, ErrStackUnderflow
+	}
+	v := s.data[len(s.data)-1]
+	s.data = s.data[:len(s.data)-1]
+	return v, nil
+}
+
+// pop2 pops two operands (top first).
+func (s *stack) pop2() (uint256.Int, uint256.Int, error) {
+	a, err := s.pop()
+	if err != nil {
+		return uint256.Zero, uint256.Zero, err
+	}
+	b, err := s.pop()
+	if err != nil {
+		return uint256.Zero, uint256.Zero, err
+	}
+	return a, b, nil
+}
+
+// dup duplicates the n-th element from the top (1-based).
+func (s *stack) dup(n int) error {
+	if len(s.data) < n {
+		return ErrStackUnderflow
+	}
+	return s.push(s.data[len(s.data)-n])
+}
+
+// swap exchanges the top with the n-th element below it (1-based).
+func (s *stack) swap(n int) error {
+	if len(s.data) < n+1 {
+		return ErrStackUnderflow
+	}
+	top := len(s.data) - 1
+	s.data[top], s.data[top-n] = s.data[top-n], s.data[top]
+	return nil
+}
+
+// memory is the byte-addressed expandable EVM memory.
+type memory struct {
+	data []byte
+}
+
+// expand grows memory to cover [offset, offset+size) rounded up to 32-byte
+// words, returning the number of new words (for gas charging). Absurd
+// offsets are rejected by the caller via gas exhaustion on the returned
+// word count.
+func (m *memory) expand(offset, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	end := offset + size
+	if end < offset { // overflow
+		return 1 << 32
+	}
+	words := (end + 31) / 32
+	curWords := uint64(len(m.data)) / 32
+	if words <= curWords {
+		return 0
+	}
+	grown := words - curWords
+	if words > 1<<24 { // 512 MiB cap; gas will run out first in practice
+		return 1 << 32
+	}
+	m.data = append(m.data, make([]byte, (words-curWords)*32)...)
+	return grown
+}
+
+func (m *memory) get(offset, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	out := make([]byte, size)
+	copy(out, m.data[offset:offset+size])
+	return out
+}
+
+func (m *memory) set(offset uint64, value []byte) {
+	copy(m.data[offset:], value)
+}
+
+func (m *memory) len() uint64 { return uint64(len(m.data)) }

@@ -1,0 +1,252 @@
+// Package hms implements Hash-Mark-Set, the paper's core contribution: it
+// organizes the pending transaction pool into a directed acyclic graph
+// keyed by per-transaction marks (mark = Keccak256(prevMark, value)),
+// extracts the deepest branch from the head candidates as a sequentially
+// consistent series (Algorithms 1-3), and serves the series tail as a
+// READ-UNCOMMITTED view of the managed storage variable.
+package hms
+
+import (
+	"sync"
+
+	"sereth/internal/types"
+)
+
+// Config identifies the contract and selectors a Tracker manages.
+type Config struct {
+	// Contract is the Sereth contract address whose state variable is
+	// tracked.
+	Contract types.Address
+	// SetSelector is the selector of the state-changing write function
+	// ("set" in the paper); only these transactions enter the series.
+	SetSelector types.Selector
+	// BuySelector identifies dependent transactions for semantic mining.
+	BuySelector types.Selector
+	// ExtendHeads additionally treats a chain-flagged transaction whose
+	// previous mark equals the committed mark as a head candidate. The
+	// paper's baseline algorithm loses 10-20% of transactions right after
+	// a block publishes because the pool "no longer contains marked
+	// transactions" (§V-C); this extension recovers them and is evaluated
+	// as an ablation.
+	ExtendHeads bool
+}
+
+// Node is a vertex of the HMS transaction DAG.
+type Node struct {
+	Tx   *types.Transaction
+	FPV  types.FPV
+	Mark types.Word // Keccak256(FPV.PrevMark, FPV.Value)
+	Prev *Node
+	Next []*Node
+}
+
+// View is the READ-UNCOMMITTED view returned by Algorithm 1.
+type View struct {
+	// AMV is the predicted (address, mark, value) of the managed variable.
+	AMV types.AMV
+	// Flag to place in the next transaction's FPV: FlagHead when the view
+	// came from committed state, FlagChain when it is the pending series
+	// tail.
+	Flag types.Word
+	// Depth is the pending series length behind the view (0 = committed).
+	Depth int
+}
+
+// Tracker computes HMS views for one managed variable. Safe for
+// concurrent use.
+type Tracker struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	committed types.AMV
+}
+
+// NewTracker returns a tracker with a zero committed state (genesis).
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg}
+}
+
+// Config returns the tracker configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// SetCommitted records the post-publication contract state; called by the
+// chain layer whenever a block commits.
+func (t *Tracker) SetCommitted(amv types.AMV) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.committed = amv
+}
+
+// Committed returns the last committed AMV.
+func (t *Tracker) Committed() types.AMV {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.committed
+}
+
+// Process filters the pool for relevant set transactions and computes
+// their marks (paper Algorithm 2). Transactions whose flag is neither
+// headFlag nor successFlag are rejected. Duplicate marks (identical
+// prev/value re-submissions) keep the earliest arrival.
+func (t *Tracker) Process(pool []*types.Transaction) []*Node {
+	var nodes []*Node
+	seen := make(map[types.Word]bool)
+	for _, tx := range pool {
+		if tx.To != t.cfg.Contract {
+			continue
+		}
+		sel, ok := tx.Selector()
+		if !ok || sel != t.cfg.SetSelector {
+			continue
+		}
+		fpv, err := tx.FPV()
+		if err != nil {
+			continue
+		}
+		if fpv.Flag != types.FlagHead && fpv.Flag != types.FlagChain {
+			continue // rejected (Algorithm 2, SUCCESS check)
+		}
+		mark := types.NextMark(fpv.PrevMark, fpv.Value)
+		if seen[mark] {
+			continue
+		}
+		seen[mark] = true
+		nodes = append(nodes, &Node{Tx: tx, FPV: fpv, Mark: mark})
+	}
+	return nodes
+}
+
+// Series links the nodes into a DAG and returns the deepest branch from
+// the best head candidate (paper Algorithm 3). It returns nil when no
+// valid head exists.
+func (t *Tracker) Series(nodes []*Node) []*Node {
+	if len(nodes) == 0 {
+		return nil
+	}
+	committedMark := t.Committed().Mark
+
+	// Build adjacency: txn2 follows txn when txn.mark == txn2.prevMark.
+	byMark := make(map[types.Word]*Node, len(nodes))
+	for _, n := range nodes {
+		byMark[n.Mark] = n
+	}
+	for _, n := range nodes {
+		if parent, ok := byMark[n.FPV.PrevMark]; ok && parent != n {
+			n.Prev = parent
+			parent.Next = append(parent.Next, n)
+		}
+	}
+
+	// Head candidates: head-flagged transactions chaining off the
+	// committed mark; optionally chain-flagged orphans that match it.
+	var best []*Node
+	for _, n := range nodes {
+		isHead := n.FPV.Flag == types.FlagHead && n.FPV.PrevMark == committedMark
+		if t.cfg.ExtendHeads && !isHead {
+			isHead = n.Prev == nil && n.FPV.PrevMark == committedMark
+		}
+		if !isHead {
+			continue
+		}
+		branch := deepestBranch(n, len(nodes))
+		if len(branch) > len(best) {
+			best = branch
+		}
+	}
+	return best
+}
+
+// deepestBranch performs the recursive longest-path search of Algorithm 3
+// (DEEPESTBRANCH) from a head node. limit bounds the walk so adversarial
+// mark collisions cannot loop (Lemma 2 guarantees termination for honest
+// marks; the limit makes it unconditional).
+func deepestBranch(head *Node, limit int) []*Node {
+	var (
+		maxPath []*Node
+		path    = make([]*Node, 0, limit)
+	)
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		path = append(path, n)
+		defer func() { path = path[:len(path)-1] }()
+		if len(path) > limit {
+			return
+		}
+		if len(n.Next) == 0 {
+			if len(path) > len(maxPath) {
+				maxPath = append([]*Node{}, path...)
+			}
+			return
+		}
+		for _, next := range n.Next {
+			rec(next)
+		}
+	}
+	rec(head)
+	return maxPath
+}
+
+// ViewOf computes the READ-UNCOMMITTED view from a pool snapshot
+// (paper Algorithm 1).
+func (t *Tracker) ViewOf(pool []*types.Transaction) View {
+	nodes := t.Process(pool)
+	series := t.Series(nodes)
+	committed := t.Committed()
+	if len(series) == 0 {
+		// Empty txnList (or no valid head): the caller's transaction will
+		// be the first Sereth transaction of the block — use committed
+		// state and the head flag (Algorithm 1 line 5, "specialValue").
+		return View{AMV: committed, Flag: types.FlagHead, Depth: 0}
+	}
+	tail := series[len(series)-1]
+	return View{
+		AMV: types.AMV{
+			Address: tail.Tx.From,
+			Mark:    tail.Mark,
+			Value:   tail.FPV.Value,
+		},
+		Flag:  types.FlagChain,
+		Depth: len(series),
+	}
+}
+
+// SeriesOf is a convenience combining Process and Series.
+func (t *Tracker) SeriesOf(pool []*types.Transaction) []*Node {
+	return t.Series(t.Process(pool))
+}
+
+// BuysByInterval groups pending buy transactions by the mark of the set
+// interval they target (FPV.PrevMark). The semantic miner uses this to
+// interleave each set with its dependent buys (paper §V-C); buys keyed by
+// the committed mark belong before the first pending set.
+func (t *Tracker) BuysByInterval(pool []*types.Transaction) map[types.Word][]*types.Transaction {
+	out := make(map[types.Word][]*types.Transaction)
+	for _, tx := range pool {
+		if tx.To != t.cfg.Contract {
+			continue
+		}
+		sel, ok := tx.Selector()
+		if !ok || sel != t.cfg.BuySelector {
+			continue
+		}
+		fpv, err := tx.FPV()
+		if err != nil {
+			continue
+		}
+		out[fpv.PrevMark] = append(out[fpv.PrevMark], tx)
+	}
+	return out
+}
+
+// IsManaged reports whether tx is an HMS set or buy on the managed
+// contract.
+func (t *Tracker) IsManaged(tx *types.Transaction) bool {
+	if tx.To != t.cfg.Contract {
+		return false
+	}
+	sel, ok := tx.Selector()
+	if !ok {
+		return false
+	}
+	return sel == t.cfg.SetSelector || sel == t.cfg.BuySelector
+}

@@ -1,0 +1,153 @@
+// Package keccak implements the legacy Keccak-256 hash (the pre-SHA-3
+// variant with 0x01 domain padding) used by Ethereum for transaction
+// hashes, storage keys, function selectors and the HMS marks.
+package keccak
+
+import "math/bits"
+
+// Size is the digest length in bytes.
+const Size = 32
+
+// rate is the sponge rate for Keccak-256: 1600 - 2*256 bits = 136 bytes.
+const rate = 136
+
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+	0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotation offsets r[x][y] flattened by the pi step order.
+var rotc = [24]uint{1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14, 27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44}
+
+// piln is the pi-step lane permutation.
+var piln = [24]int{10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1}
+
+// keccakF1600 applies the 24-round Keccak-f[1600] permutation in place.
+func keccakF1600(st *[25]uint64) {
+	var bc [5]uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for i := 0; i < 5; i++ {
+			bc[i] = st[i] ^ st[i+5] ^ st[i+10] ^ st[i+15] ^ st[i+20]
+		}
+		for i := 0; i < 5; i++ {
+			t := bc[(i+4)%5] ^ bits.RotateLeft64(bc[(i+1)%5], 1)
+			for j := 0; j < 25; j += 5 {
+				st[j+i] ^= t
+			}
+		}
+		// Rho and Pi.
+		t := st[1]
+		for i := 0; i < 24; i++ {
+			j := piln[i]
+			bc[0] = st[j]
+			st[j] = bits.RotateLeft64(t, int(rotc[i]))
+			t = bc[0]
+		}
+		// Chi.
+		for j := 0; j < 25; j += 5 {
+			for i := 0; i < 5; i++ {
+				bc[i] = st[j+i]
+			}
+			for i := 0; i < 5; i++ {
+				st[j+i] ^= (^bc[(i+1)%5]) & bc[(i+2)%5]
+			}
+		}
+		// Iota.
+		st[0] ^= roundConstants[round]
+	}
+}
+
+// Hasher is an incremental Keccak-256 hasher. The zero value is ready to
+// use. It implements a Write/Sum interface similar to hash.Hash.
+type Hasher struct {
+	state  [25]uint64
+	buf    [rate]byte
+	buffed int
+}
+
+// New returns a new incremental hasher.
+func New() *Hasher { return &Hasher{} }
+
+// Reset restores the hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.state = [25]uint64{}
+	h.buffed = 0
+}
+
+// Write absorbs p into the sponge. It never returns an error.
+func (h *Hasher) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		space := rate - h.buffed
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(h.buf[h.buffed:], p[:space])
+		h.buffed += space
+		p = p[space:]
+		if h.buffed == rate {
+			h.absorb()
+		}
+	}
+	return n, nil
+}
+
+func (h *Hasher) absorb() {
+	for i := 0; i < rate/8; i++ {
+		h.state[i] ^= leUint64(h.buf[i*8:])
+	}
+	keccakF1600(&h.state)
+	h.buffed = 0
+}
+
+// Sum256 finalizes a copy of the sponge and returns the 32-byte digest.
+// The hasher may continue to be written to afterwards.
+func (h *Hasher) Sum256() [32]byte {
+	// Work on a copy so Sum256 is non-destructive.
+	cp := *h
+	cp.buf[cp.buffed] = 0x01 // legacy Keccak domain padding
+	for i := cp.buffed + 1; i < rate; i++ {
+		cp.buf[i] = 0
+	}
+	cp.buf[rate-1] |= 0x80
+	cp.buffed = rate
+	cp.absorb()
+	var out [32]byte
+	for i := 0; i < 4; i++ {
+		putLeUint64(out[i*8:], cp.state[i])
+	}
+	return out
+}
+
+// Sum256 returns the Keccak-256 digest of the concatenation of the given
+// byte slices.
+func Sum256(data ...[]byte) [32]byte {
+	var h Hasher
+	for _, d := range data {
+		_, _ = h.Write(d)
+	}
+	return h.Sum256()
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLeUint64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,264 @@
+// Package miner assembles blocks from the pending pool. Two ordering
+// strategies reproduce the paper's scenarios: the baseline miner orders
+// by gas price with seeded-arbitrary tie-breaking (miner privilege,
+// §II-C) while respecting per-sender nonce order; the semantic miner
+// (§V-C) orders the block by the Hash-Mark-Set series, interleaving every
+// set with its dependent buys so the interleaving matches the
+// READ-UNCOMMITTED views clients used when submitting.
+package miner
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sereth/internal/chain"
+	"sereth/internal/hms"
+	"sereth/internal/types"
+)
+
+// Strategy orders a pending-pool snapshot into a block body candidate.
+// nextNonce exposes the current account nonces so strategies can avoid
+// proposing gapped bodies.
+type Strategy interface {
+	Order(pending []*types.Transaction, nextNonce func(types.Address) uint64) []*types.Transaction
+}
+
+// Baseline is the standard-client ordering: highest gas price first,
+// same-price transactions roughly in the order they reached this miner's
+// pool, perturbed by a bounded reorder window. This mirrors unmodified
+// geth, whose price-and-nonce heap breaks same-price ties by arrival
+// order modulo heap nondeterminism and gossip skew — the "arbitrary total
+// order" of miner privilege (§II-C). Per-sender nonce order is always
+// preserved.
+type Baseline struct {
+	rng *rand.Rand
+	// reorderWindow is the reordering noise amplitude in transaction
+	// positions: each transaction's effective arrival rank is its pool
+	// index plus uniform(0, reorderWindow). Zero means pure FIFO.
+	reorderWindow int
+}
+
+var _ Strategy = (*Baseline)(nil)
+
+// DefaultReorderWindow approximates a few seconds of gossip and heap
+// skew at the paper's 1 tx/s submission rate.
+const DefaultReorderWindow = 8
+
+// NewBaseline returns a baseline strategy with a deterministic seed and
+// the default reorder window.
+func NewBaseline(seed int64) *Baseline {
+	return NewBaselineWindow(seed, DefaultReorderWindow)
+}
+
+// NewBaselineWindow returns a baseline strategy with an explicit reorder
+// window (0 = FIFO).
+func NewBaselineWindow(seed int64, window int) *Baseline {
+	return &Baseline{rng: rand.New(rand.NewSource(seed)), reorderWindow: window}
+}
+
+// Order implements Strategy: sort by (price desc, jittered arrival rank),
+// then repair per-sender nonce order.
+func (b *Baseline) Order(pending []*types.Transaction, nextNonce func(types.Address) uint64) []*types.Transaction {
+	type ranked struct {
+		tx   *types.Transaction
+		rank float64
+	}
+	rankedTxs := make([]ranked, len(pending))
+	for i, tx := range pending {
+		jitter := 0.0
+		if b.reorderWindow > 0 {
+			jitter = b.rng.Float64() * float64(b.reorderWindow)
+		}
+		rankedTxs[i] = ranked{tx: tx, rank: float64(i) + jitter}
+	}
+	sort.SliceStable(rankedTxs, func(i, j int) bool {
+		if rankedTxs[i].tx.GasPrice != rankedTxs[j].tx.GasPrice {
+			return rankedTxs[i].tx.GasPrice > rankedTxs[j].tx.GasPrice
+		}
+		return rankedTxs[i].rank < rankedTxs[j].rank
+	})
+	out := make([]*types.Transaction, len(rankedTxs))
+	for i, r := range rankedTxs {
+		out[i] = r.tx
+	}
+	return repairNonceOrder(out, nextNonce)
+}
+
+// Semantic orders the block by the HMS series: buys bound to the
+// committed interval first, then each pending set followed by the buys
+// that depend on its mark, then everything else in baseline order.
+type Semantic struct {
+	tracker  *hms.Tracker
+	fallback *Baseline
+}
+
+var _ Strategy = (*Semantic)(nil)
+
+// NewSemantic returns a semantic-mining strategy.
+func NewSemantic(tracker *hms.Tracker, seed int64) *Semantic {
+	return NewSemanticWindow(tracker, seed, DefaultReorderWindow)
+}
+
+// NewSemanticWindow returns a semantic strategy whose fallback ordering
+// uses an explicit reorder window.
+func NewSemanticWindow(tracker *hms.Tracker, seed int64, window int) *Semantic {
+	return &Semantic{tracker: tracker, fallback: NewBaselineWindow(seed, window)}
+}
+
+// Order implements Strategy.
+func (m *Semantic) Order(pending []*types.Transaction, nextNonce func(types.Address) uint64) []*types.Transaction {
+	series := m.tracker.SeriesOf(pending)
+	buys := m.tracker.BuysByInterval(pending)
+	committedMark := m.tracker.Committed().Mark
+
+	scheduled := make(map[types.Hash]bool)
+	var out []*types.Transaction
+	add := func(txs ...*types.Transaction) {
+		for _, tx := range txs {
+			h := tx.Hash()
+			if !scheduled[h] {
+				scheduled[h] = true
+				out = append(out, tx)
+			}
+		}
+	}
+
+	// Buys that read the committed state execute before any pending set.
+	add(buys[committedMark]...)
+	for _, node := range series {
+		add(node.Tx)
+		add(buys[node.Mark]...)
+	}
+	// Remaining transactions (non-HMS traffic, orphaned sets/buys) in
+	// baseline order behind the series.
+	var rest []*types.Transaction
+	for _, tx := range pending {
+		if !scheduled[tx.Hash()] {
+			rest = append(rest, tx)
+		}
+	}
+	add(m.fallback.Order(rest, nextNonce)...)
+	return repairNonceOrder(out, nextNonce)
+}
+
+// repairNonceOrder enforces the protocol invariant that a block may not
+// contain a sender's transactions out of nonce order or with gaps
+// (§II-C): stale nonces are dropped, premature ones deferred until their
+// predecessors are placed, and unplaceable ones discarded.
+func repairNonceOrder(desired []*types.Transaction, nextNonce func(types.Address) uint64) []*types.Transaction {
+	expected := make(map[types.Address]uint64)
+	nonceOf := func(a types.Address) uint64 {
+		if n, ok := expected[a]; ok {
+			return n
+		}
+		n := nextNonce(a)
+		expected[a] = n
+		return n
+	}
+	deferred := make(map[types.Address][]*types.Transaction)
+	out := make([]*types.Transaction, 0, len(desired))
+
+	place := func(tx *types.Transaction) bool {
+		want := nonceOf(tx.From)
+		switch {
+		case tx.Nonce < want:
+			return true // stale: drop silently
+		case tx.Nonce > want:
+			deferred[tx.From] = append(deferred[tx.From], tx)
+			return false
+		default:
+			out = append(out, tx)
+			expected[tx.From] = want + 1
+			return true
+		}
+	}
+	for _, tx := range desired {
+		if !place(tx) {
+			continue
+		}
+		// Drain any deferred txs unblocked by this placement.
+		for {
+			q := deferred[tx.From]
+			if len(q) == 0 {
+				break
+			}
+			sort.Slice(q, func(i, j int) bool { return q[i].Nonce < q[j].Nonce })
+			if q[0].Nonce != expected[tx.From] {
+				break
+			}
+			out = append(out, q[0])
+			expected[tx.From]++
+			deferred[tx.From] = q[1:]
+		}
+	}
+	return out
+}
+
+// PendingSource is the pool view a miner consumes.
+type PendingSource interface {
+	Pending() []*types.Transaction
+}
+
+// Miner builds sealed blocks on top of a chain.
+type Miner struct {
+	chain    *chain.Chain
+	pool     PendingSource
+	strategy Strategy
+	coinbase types.Address
+	// maxSealIter bounds the PoW nonce search.
+	maxSealIter uint64
+}
+
+// NewMiner returns a miner using the given ordering strategy.
+func NewMiner(c *chain.Chain, pool PendingSource, strategy Strategy, coinbase types.Address) *Miner {
+	return &Miner{
+		chain:       c,
+		pool:        pool,
+		strategy:    strategy,
+		coinbase:    coinbase,
+		maxSealIter: 1 << 24,
+	}
+}
+
+// BuildBlock assembles, executes and seals the next block at the given
+// model timestamp. The block is NOT inserted; callers broadcast it and
+// every peer (including the miner) validates by replay.
+func (m *Miner) BuildBlock(timestamp uint64) (*types.Block, error) {
+	head := m.chain.Head()
+	state := m.chain.State()
+	ordered := m.strategy.Order(m.pool.Pending(), state.GetNonce)
+
+	// Trim to the block gas limit using the declared per-tx limits.
+	limit := m.chain.Config().GasLimit
+	var budget uint64
+	body := make([]*types.Transaction, 0, len(ordered))
+	for _, tx := range ordered {
+		if budget+tx.GasLimit > limit {
+			continue
+		}
+		budget += tx.GasLimit
+		body = append(body, tx)
+	}
+
+	header := &types.Header{
+		ParentHash: head.Hash(),
+		Number:     head.Number() + 1,
+		Coinbase:   m.coinbase,
+		Difficulty: m.chain.Config().Difficulty,
+		GasLimit:   limit,
+		Time:       timestamp,
+	}
+	receipts, post, gasUsed, err := m.chain.ExecuteBlock(state, header, body)
+	if err != nil {
+		return nil, fmt.Errorf("build block %d: %w", header.Number, err)
+	}
+	header.TxRoot = types.DeriveTxRoot(body)
+	header.ReceiptRoot = types.DeriveReceiptRoot(receipts)
+	header.StateRoot = post.Root()
+	header.GasUsed = gasUsed
+	if !chain.Seal(header, m.chain.Config().Difficulty, m.maxSealIter) {
+		return nil, fmt.Errorf("build block %d: seal search exhausted", header.Number)
+	}
+	return &types.Block{Header: header, Txs: body}, nil
+}

@@ -1,0 +1,414 @@
+// Package node wires the full client stack — chain, pool, EVM, HMS
+// tracker, RAA service, miner, network — into the two client types the
+// paper evaluates: the standard Geth-like client (READ-COMMITTED views
+// only) and the Sereth client (HMS + RAA, READ-UNCOMMITTED views). Both
+// speak the same protocol and validate the same blocks, which is the
+// interoperability property demonstrated in §V.
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"sereth/internal/asm"
+	"sereth/internal/chain"
+	"sereth/internal/evm"
+	"sereth/internal/hms"
+	"sereth/internal/miner"
+	"sereth/internal/p2p"
+	"sereth/internal/raa"
+	"sereth/internal/statedb"
+	"sereth/internal/txpool"
+	"sereth/internal/types"
+	"sereth/internal/wallet"
+)
+
+// Mode selects the client type.
+type Mode int
+
+// Client modes.
+const (
+	// ModeGeth is the unmodified standard client: no HMS, no RAA.
+	ModeGeth Mode = iota + 1
+	// ModeSereth enables the HMS tracker and RAA provider.
+	ModeSereth
+)
+
+func (m Mode) String() string {
+	if m == ModeSereth {
+		return "sereth"
+	}
+	return "geth"
+}
+
+// MinerKind selects the block-ordering strategy for mining nodes.
+type MinerKind int
+
+// Miner kinds.
+const (
+	// MinerNone disables mining on this node.
+	MinerNone MinerKind = iota
+	// MinerBaseline orders by price with arbitrary tie-breaking.
+	MinerBaseline
+	// MinerSemantic orders by the HMS series (requires ModeSereth).
+	MinerSemantic
+)
+
+// Config assembles a node.
+type Config struct {
+	ID       p2p.PeerID
+	Mode     Mode
+	Miner    MinerKind
+	Contract types.Address
+	Chain    chain.Config
+	Genesis  *statedb.StateDB
+	Network  *p2p.Network
+	// Seed drives the miner's arbitrary ordering.
+	Seed int64
+	// ExtendHeads enables the HMS orphan-recovery extension (ablation).
+	ExtendHeads bool
+	// ReorderWindow sets the baseline miner's same-price reordering noise
+	// in transaction positions; negative selects the default.
+	ReorderWindow int
+}
+
+// Node is one peer: a full validating client, optionally mining.
+type Node struct {
+	id      p2p.PeerID
+	mode    Mode
+	chain   *chain.Chain
+	pool    *txpool.Pool
+	tracker *hms.Tracker
+	raaSvc  *raa.Service
+	miner   *miner.Miner
+	net     *p2p.Network
+
+	mu    sync.Mutex
+	stats Stats
+	// orphans buffers blocks that arrived ahead of a missing parent
+	// (gossip loss); they are retried after every successful import.
+	orphans map[uint64]*types.Block
+}
+
+// Stats counts node-level events.
+type Stats struct {
+	TxSeen         uint64
+	TxRejected     uint64
+	BlocksImported uint64
+	BlocksRejected uint64
+}
+
+var _ p2p.Handler = (*Node)(nil)
+
+// New builds a node and joins it to the network.
+func New(cfg Config) (*Node, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("node %d: network is required", cfg.ID)
+	}
+	c := chain.New(cfg.Chain, cfg.Genesis)
+	n := &Node{
+		id:      cfg.ID,
+		mode:    cfg.Mode,
+		chain:   c,
+		net:     cfg.Network,
+		orphans: make(map[uint64]*types.Block),
+	}
+	n.pool = txpool.New(txpool.WithValidator(func(tx *types.Transaction) error {
+		if cfg.Chain.Registry != nil {
+			return cfg.Chain.Registry.VerifyTx(tx)
+		}
+		return nil
+	}))
+
+	if cfg.Mode == ModeSereth {
+		n.tracker = hms.NewTracker(hms.Config{
+			Contract:    cfg.Contract,
+			SetSelector: asm.SelSet,
+			BuySelector: asm.SelBuy,
+			ExtendHeads: cfg.ExtendHeads,
+		})
+		n.refreshCommitted()
+		n.raaSvc = raa.NewService()
+		raa.RegisterHMS(n.raaSvc, n.tracker, n.pool, asm.SelGet, asm.SelMark)
+	}
+
+	window := cfg.ReorderWindow
+	if window < 0 {
+		window = miner.DefaultReorderWindow
+	}
+	switch cfg.Miner {
+	case MinerNone:
+	case MinerBaseline:
+		n.miner = miner.NewMiner(c, n.pool, miner.NewBaselineWindow(cfg.Seed, window), minerAddress(cfg.ID))
+	case MinerSemantic:
+		if n.tracker == nil {
+			return nil, fmt.Errorf("node %d: semantic mining requires sereth mode", cfg.ID)
+		}
+		n.miner = miner.NewMiner(c, n.pool, miner.NewSemanticWindow(n.tracker, cfg.Seed, window), minerAddress(cfg.ID))
+	default:
+		return nil, fmt.Errorf("node %d: unknown miner kind %d", cfg.ID, cfg.Miner)
+	}
+
+	cfg.Network.Join(cfg.ID, n)
+	return n, nil
+}
+
+func minerAddress(id p2p.PeerID) types.Address {
+	var a types.Address
+	a[0] = 0xee
+	a[19] = byte(id)
+	return a
+}
+
+// ID returns the node's peer id.
+func (n *Node) ID() p2p.PeerID { return n.id }
+
+// Mode returns the client mode.
+func (n *Node) Mode() Mode { return n.mode }
+
+// Chain exposes the node's chain (read-mostly).
+func (n *Node) Chain() *chain.Chain { return n.chain }
+
+// Pool exposes the node's transaction pool.
+func (n *Node) Pool() *txpool.Pool { return n.pool }
+
+// Tracker returns the HMS tracker (nil in geth mode).
+func (n *Node) Tracker() *hms.Tracker { return n.tracker }
+
+// Stats returns a copy of the node statistics.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// SubmitTx admits a locally-created transaction and gossips it.
+func (n *Node) SubmitTx(tx *types.Transaction) error {
+	if err := n.pool.Add(tx); err != nil {
+		return fmt.Errorf("node %d submit: %w", n.id, err)
+	}
+	n.net.BroadcastTx(n.id, tx)
+	return nil
+}
+
+// HandleTx implements p2p.Handler.
+func (n *Node) HandleTx(_ p2p.PeerID, tx *types.Transaction) {
+	n.mu.Lock()
+	n.stats.TxSeen++
+	n.mu.Unlock()
+	if err := n.pool.Add(tx); err != nil {
+		n.mu.Lock()
+		n.stats.TxRejected++
+		n.mu.Unlock()
+	}
+}
+
+// HandleBlock implements p2p.Handler: validate by replay and adopt. A
+// block that arrives ahead of a missing ancestor (lost gossip) is
+// buffered and the gap is requested from the sender — the catch-up sync
+// that keeps lossy networks convergent.
+func (n *Node) HandleBlock(from p2p.PeerID, block *types.Block) {
+	height := n.chain.Height()
+	if block.Number() > height+1 {
+		n.mu.Lock()
+		n.orphans[block.Number()] = block
+		n.mu.Unlock()
+		n.net.RequestBlocks(n.id, from, height+1)
+		return
+	}
+	if n.importBlock(block) {
+		n.drainOrphans()
+	}
+}
+
+// HandleBlockRequest implements p2p.Handler: serve our chain from the
+// requested height so the requester can catch up.
+func (n *Node) HandleBlockRequest(from p2p.PeerID, fromNumber uint64) {
+	for num := fromNumber; num <= n.chain.Height(); num++ {
+		block := n.chain.BlockByNumber(num)
+		if block == nil {
+			return
+		}
+		n.net.SendBlock(n.id, from, block)
+	}
+}
+
+// drainOrphans retries buffered successors after a successful import.
+func (n *Node) drainOrphans() {
+	for {
+		next := n.chain.Height() + 1
+		n.mu.Lock()
+		block, ok := n.orphans[next]
+		if ok {
+			delete(n.orphans, next)
+		}
+		// Drop stale buffered blocks at or below the head.
+		for num := range n.orphans {
+			if num <= n.chain.Height() {
+				delete(n.orphans, num)
+			}
+		}
+		n.mu.Unlock()
+		if !ok {
+			return
+		}
+		if !n.importBlock(block) {
+			return
+		}
+	}
+}
+
+func (n *Node) importBlock(block *types.Block) bool {
+	if _, err := n.chain.InsertBlock(block); err != nil {
+		n.mu.Lock()
+		n.stats.BlocksRejected++
+		n.mu.Unlock()
+		return false
+	}
+	n.mu.Lock()
+	n.stats.BlocksImported++
+	n.mu.Unlock()
+
+	// Drop included and stale transactions from the pool. This is the
+	// moment the paper's 10-20% orphan loss occurs: pending successors of
+	// just-committed marks lose their in-pool parents (§V-C).
+	hashes := make([]types.Hash, len(block.Txs))
+	for i, tx := range block.Txs {
+		hashes[i] = tx.Hash()
+	}
+	n.pool.Remove(hashes)
+	n.chain.ReadState(func(st *statedb.StateDB) {
+		n.pool.RemoveStale(st.GetNonce)
+	})
+	n.refreshCommitted()
+	return true
+}
+
+// refreshCommitted reloads the tracker's committed AMV from the contract
+// storage after a block commits.
+func (n *Node) refreshCommitted() {
+	if n.tracker == nil {
+		return
+	}
+	contract := n.tracker.Config().Contract
+	var amv types.AMV
+	n.chain.ReadState(func(st *statedb.StateDB) {
+		amv = types.AMV{
+			Address: st.GetState(contract, types.WordFromUint64(asm.SlotAddress)).Address(),
+			Mark:    st.GetState(contract, types.WordFromUint64(asm.SlotMark)),
+			Value:   st.GetState(contract, types.WordFromUint64(asm.SlotValue)),
+		}
+	})
+	n.tracker.SetCommitted(amv)
+}
+
+// MineAndBroadcast builds the next block, imports it locally, and gossips
+// it. Returns the block, or nil when this node does not mine.
+func (n *Node) MineAndBroadcast(timestamp uint64) (*types.Block, error) {
+	if n.miner == nil {
+		return nil, nil
+	}
+	block, err := n.miner.BuildBlock(timestamp)
+	if err != nil {
+		return nil, err
+	}
+	if !n.importBlock(block) {
+		return nil, fmt.Errorf("node %d: own block failed validation", n.id)
+	}
+	n.net.BroadcastBlock(n.id, block)
+	return block, nil
+}
+
+// CallReadOnly executes a view/pure call against the head state. On a
+// Sereth node the RAA hook augments registered calls; on a Geth node
+// arguments pass through unchanged.
+func (n *Node) CallReadOnly(from, to types.Address, data []byte) evm.Result {
+	head := n.chain.Head().Header
+	st := n.chain.State()
+	machine := evm.New(st, evm.BlockContext{Number: head.Number, Time: head.Time})
+	if n.raaSvc != nil {
+		machine.SetRAAProvider(n.raaSvc)
+	}
+	return machine.Call(evm.CallContext{
+		Caller:   from,
+		Contract: to,
+		Input:    data,
+		Gas:      5_000_000,
+		ReadOnly: true,
+	})
+}
+
+// StorageAt reads a committed storage word (the READ-COMMITTED view any
+// standard client has).
+func (n *Node) StorageAt(contract types.Address, slot uint64) types.Word {
+	var w types.Word
+	n.chain.ReadState(func(st *statedb.StateDB) {
+		w = st.GetState(contract, types.WordFromUint64(slot))
+	})
+	return w
+}
+
+// NonceAt returns the committed account nonce.
+func (n *Node) NonceAt(addr types.Address) uint64 {
+	var nonce uint64
+	n.chain.ReadState(func(st *statedb.StateDB) {
+		nonce = st.GetNonce(addr)
+	})
+	return nonce
+}
+
+// ViewAMV returns the client's best view of the managed variable plus the
+// flag to use in the next FPV. Sereth nodes exercise the full RAA path
+// through the EVM (mark() and get() calls, paper §III-B); Geth nodes read
+// committed storage.
+func (n *Node) ViewAMV(caller, contract types.Address) (flag, mark, value types.Word) {
+	if n.mode == ModeSereth && n.tracker != nil {
+		view := n.tracker.ViewOf(n.pool.Pending())
+		// Cross-check through the EVM+RAA path: mark() returns raa[1],
+		// get() returns raa[2]. This keeps the architectural path of the
+		// paper hot; results are identical to the tracker view.
+		res := n.CallReadOnly(caller, contract, types.EncodeCall(asm.SelMark, view.Flag, view.AMV.Mark, view.AMV.Value))
+		if res.Succeeded() {
+			mark = res.ReturnWord()
+		} else {
+			mark = view.AMV.Mark
+		}
+		res = n.CallReadOnly(caller, contract, types.EncodeCall(asm.SelGet, view.Flag, view.AMV.Mark, view.AMV.Value))
+		if res.Succeeded() {
+			value = res.ReturnWord()
+		} else {
+			value = view.AMV.Value
+		}
+		return view.Flag, mark, value
+	}
+	// Standard client: committed state only.
+	return types.FlagHead,
+		n.StorageAt(contract, asm.SlotMark),
+		n.StorageAt(contract, asm.SlotValue)
+}
+
+// Wallet-facing helper: build and submit a signed set/buy transaction.
+
+// SubmitSet submits a signed set(fpv) transaction from key.
+func (n *Node) SubmitSet(key *wallet.Key, nonce uint64, contract types.Address, flag, prev, value types.Word) (*types.Transaction, error) {
+	tx := key.SignTx(&types.Transaction{
+		Nonce:    nonce,
+		To:       contract,
+		GasPrice: 10,
+		GasLimit: 300_000,
+		Data:     types.EncodeCall(asm.SelSet, flag, prev, value),
+	})
+	return tx, n.SubmitTx(tx)
+}
+
+// SubmitBuy submits a signed buy(offer) transaction from key.
+func (n *Node) SubmitBuy(key *wallet.Key, nonce uint64, contract types.Address, flag, mark, value types.Word) (*types.Transaction, error) {
+	tx := key.SignTx(&types.Transaction{
+		Nonce:    nonce,
+		To:       contract,
+		GasPrice: 10,
+		GasLimit: 300_000,
+		Data:     types.EncodeCall(asm.SelBuy, flag, mark, value),
+	})
+	return tx, n.SubmitTx(tx)
+}

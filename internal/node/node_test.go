@@ -1,0 +1,347 @@
+package node
+
+import (
+	"testing"
+
+	"sereth/internal/asm"
+	"sereth/internal/chain"
+	"sereth/internal/p2p"
+	"sereth/internal/statedb"
+	"sereth/internal/types"
+	"sereth/internal/wallet"
+)
+
+var contractAddr = types.Address{19: 0xcc}
+
+type fixture struct {
+	net   *p2p.Network
+	nodes []*Node
+	owner *wallet.Key
+	buyer *wallet.Key
+	reg   *wallet.Registry
+}
+
+// newFixture builds a network of nodes; spec[i] configures node i+1.
+func newFixture(t *testing.T, spec ...Config) *fixture {
+	t.Helper()
+	owner := wallet.NewKey("owner")
+	buyer := wallet.NewKey("buyer")
+	reg := wallet.NewRegistry()
+	reg.Register(owner)
+	reg.Register(buyer)
+
+	genesis := statedb.New()
+	genesis.SetCode(contractAddr, asm.SerethContract())
+
+	net := p2p.NewNetwork(p2p.Config{LatencyMs: 10, Seed: 1})
+	f := &fixture{net: net, owner: owner, buyer: buyer, reg: reg}
+	for i, cfg := range spec {
+		cfg.ID = p2p.PeerID(i + 1)
+		cfg.Contract = contractAddr
+		cfg.Network = net
+		cfg.Genesis = genesis
+		chainCfg := chain.DefaultConfig()
+		chainCfg.Registry = reg
+		cfg.Chain = chainCfg
+		if cfg.Seed == 0 {
+			cfg.Seed = int64(i + 1)
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.nodes = append(f.nodes, n)
+	}
+	return f
+}
+
+func TestTxGossip(t *testing.T) {
+	f := newFixture(t,
+		Config{Mode: ModeGeth, Miner: MinerBaseline},
+		Config{Mode: ModeGeth},
+		Config{Mode: ModeSereth},
+	)
+	tx, err := f.nodes[1].SubmitSet(f.owner, 0, contractAddr, types.FlagHead, types.ZeroWord, types.WordFromUint64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.net.AdvanceTo(10)
+	for i, n := range f.nodes {
+		if !n.Pool().Has(tx.Hash()) {
+			t.Errorf("node %d missing gossiped tx", i+1)
+		}
+	}
+}
+
+func TestMineAndConverge(t *testing.T) {
+	f := newFixture(t,
+		Config{Mode: ModeGeth, Miner: MinerBaseline},
+		Config{Mode: ModeGeth},
+		Config{Mode: ModeSereth},
+	)
+	if _, err := f.nodes[2].SubmitSet(f.owner, 0, contractAddr, types.FlagHead, types.ZeroWord, types.WordFromUint64(5)); err != nil {
+		t.Fatal(err)
+	}
+	f.net.AdvanceTo(10)
+	block, err := f.nodes[0].MineAndBroadcast(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block == nil || len(block.Txs) != 1 {
+		t.Fatalf("block: %+v", block)
+	}
+	f.net.AdvanceTo(30)
+
+	roots := map[types.Hash]bool{}
+	for i, n := range f.nodes {
+		if n.Chain().Height() != 1 {
+			t.Errorf("node %d height %d", i+1, n.Chain().Height())
+		}
+		roots[n.Chain().Head().Header.StateRoot] = true
+		// Included tx removed from every pool.
+		if n.Pool().Len() != 0 {
+			t.Errorf("node %d pool not drained", i+1)
+		}
+	}
+	if len(roots) != 1 {
+		t.Error("peers diverged")
+	}
+	// Committed price visible via the standard storage read on all nodes.
+	for _, n := range f.nodes {
+		if v, _ := n.StorageAt(contractAddr, asm.SlotValue).Uint64(); v != 5 {
+			t.Error("committed price not visible")
+		}
+	}
+}
+
+func TestViewAMVGethVsSereth(t *testing.T) {
+	f := newFixture(t,
+		Config{Mode: ModeGeth, Miner: MinerBaseline},
+		Config{Mode: ModeSereth},
+	)
+	geth, sereth := f.nodes[0], f.nodes[1]
+
+	// Commit set(5) so both clients agree on the committed state.
+	if _, err := geth.SubmitSet(f.owner, 0, contractAddr, types.FlagHead, types.ZeroWord, types.WordFromUint64(5)); err != nil {
+		t.Fatal(err)
+	}
+	f.net.AdvanceTo(10)
+	if _, err := geth.MineAndBroadcast(15); err != nil {
+		t.Fatal(err)
+	}
+	f.net.AdvanceTo(30)
+
+	committedMark := types.NextMark(types.ZeroWord, types.WordFromUint64(5))
+
+	// Now a pending set(7) sits in the pool, chained on the committed
+	// mark. Per protocol the first HMS transaction after a publish is a
+	// head candidate, so it carries FlagHead (Algorithm 2).
+	if _, err := sereth.SubmitSet(f.owner, 1, contractAddr, types.FlagHead, committedMark, types.WordFromUint64(7)); err != nil {
+		t.Fatal(err)
+	}
+	f.net.AdvanceTo(50)
+
+	// Geth view: committed (stale) values.
+	flag, mark, value := geth.ViewAMV(f.buyer.Address(), contractAddr)
+	if flag != types.FlagHead || mark != committedMark {
+		t.Error("geth view should be committed state")
+	}
+	if v, _ := value.Uint64(); v != 5 {
+		t.Errorf("geth price = %d", v)
+	}
+
+	// Sereth view: READ-UNCOMMITTED pending tail.
+	flag, mark, value = sereth.ViewAMV(f.buyer.Address(), contractAddr)
+	if flag != types.FlagChain {
+		t.Error("sereth flag should be chain")
+	}
+	wantMark := types.NextMark(committedMark, types.WordFromUint64(7))
+	if mark != wantMark {
+		t.Error("sereth mark should be the pending tail")
+	}
+	if v, _ := value.Uint64(); v != 7 {
+		t.Errorf("sereth price = %d, want pending 7", v)
+	}
+}
+
+func TestSemanticMinerEndToEnd(t *testing.T) {
+	f := newFixture(t,
+		Config{Mode: ModeSereth, Miner: MinerSemantic},
+		Config{Mode: ModeSereth},
+	)
+	minerNode, clientNode := f.nodes[0], f.nodes[1]
+
+	// Owner chains two sets; buyer (via RAA view) chases the tail.
+	prev := types.ZeroWord
+	v5 := types.WordFromUint64(5)
+	if _, err := clientNode.SubmitSet(f.owner, 0, contractAddr, types.FlagHead, prev, v5); err != nil {
+		t.Fatal(err)
+	}
+	f.net.AdvanceTo(10)
+
+	flag, mark, value := clientNode.ViewAMV(f.buyer.Address(), contractAddr)
+	if v, _ := value.Uint64(); v != 5 {
+		t.Fatalf("client view price = %d", v)
+	}
+	if _, err := clientNode.SubmitBuy(f.buyer, 0, contractAddr, flag, mark, value); err != nil {
+		t.Fatal(err)
+	}
+	f.net.AdvanceTo(20)
+
+	block, err := minerNode.MineAndBroadcast(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receipts := minerNode.Chain().Receipts(block.Hash())
+	if len(receipts) != 2 {
+		t.Fatalf("receipts = %d", len(receipts))
+	}
+	for i, r := range receipts {
+		if r.Status != types.StatusSucceeded {
+			t.Errorf("tx %d failed under semantic mining", i)
+		}
+	}
+}
+
+func TestSemanticMinerRequiresSereth(t *testing.T) {
+	net := p2p.NewNetwork(p2p.Config{})
+	_, err := New(Config{
+		ID: 1, Mode: ModeGeth, Miner: MinerSemantic,
+		Contract: contractAddr, Network: net,
+		Chain: chain.DefaultConfig(),
+	})
+	if err == nil {
+		t.Error("semantic miner on geth node accepted")
+	}
+}
+
+func TestNodeRequiresNetwork(t *testing.T) {
+	if _, err := New(Config{ID: 1, Mode: ModeGeth}); err == nil {
+		t.Error("node without network accepted")
+	}
+}
+
+func TestRejectedBlockCounted(t *testing.T) {
+	f := newFixture(t, Config{Mode: ModeGeth})
+	// Next-height block with a bogus parent: rejected outright.
+	bogus := &types.Block{Header: &types.Header{Number: 1, ParentHash: types.Hash{1}}}
+	f.nodes[0].HandleBlock(99, bogus)
+	if f.nodes[0].Stats().BlocksRejected != 1 {
+		t.Error("rejected block not counted")
+	}
+	if f.nodes[0].Chain().Height() != 0 {
+		t.Error("bogus block advanced chain")
+	}
+}
+
+func TestSyncRecoversFromLostBlock(t *testing.T) {
+	// Failure injection: node 2 misses block 1 entirely (delivered only
+	// to the producer's own chain), then receives block 2 — it must
+	// buffer it, request the gap, and converge.
+	f := newFixture(t,
+		Config{Mode: ModeGeth, Miner: MinerBaseline},
+		Config{Mode: ModeGeth},
+	)
+	producer, lagger := f.nodes[0], f.nodes[1]
+
+	// Block 1: mine and deliver ONLY to the producer (simulate loss by
+	// not advancing the network before mining block 2).
+	if _, err := producer.SubmitSet(f.owner, 0, contractAddr, types.FlagHead, types.ZeroWord, types.WordFromUint64(5)); err != nil {
+		t.Fatal(err)
+	}
+	block1, err := producer.MineAndBroadcast(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = block1
+	// Do NOT advance: the gossip for block 1 is still in flight; hand
+	// block 2 to the lagger directly, out of order.
+	block2, err := producer.MineAndBroadcast(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if producer.Chain().Height() != 2 {
+		t.Fatal("producer height wrong")
+	}
+	// Deliver only block 2 first by calling the handler directly.
+	lagger.HandleBlock(producer.ID(), block2)
+	if lagger.Chain().Height() != 0 {
+		t.Fatal("lagger imported out-of-order block")
+	}
+	// The lagger requested the gap; let the network flush everything.
+	f.net.Drain()
+	if lagger.Chain().Height() != 2 {
+		t.Fatalf("lagger height = %d after sync, want 2", lagger.Chain().Height())
+	}
+	if lagger.Chain().Head().Hash() != producer.Chain().Head().Hash() {
+		t.Error("peers diverged after catch-up")
+	}
+}
+
+func TestSyncUnderBlockLoss(t *testing.T) {
+	// End-to-end with a lossy network: 30% of gossip messages dropped;
+	// catch-up sync must still converge all peers.
+	owner := wallet.NewKey("owner")
+	reg := wallet.NewRegistry()
+	reg.Register(owner)
+	genesis := statedb.New()
+	genesis.SetCode(contractAddr, asm.SerethContract())
+	net := p2p.NewNetwork(p2p.Config{LatencyMs: 10, DropRate: 0.3, Seed: 5})
+
+	mkNode := func(id p2p.PeerID, kind MinerKind) *Node {
+		chainCfg := chain.DefaultConfig()
+		chainCfg.Registry = reg
+		n, err := New(Config{
+			ID: id, Mode: ModeGeth, Miner: kind,
+			Contract: contractAddr, Chain: chainCfg, Genesis: genesis, Network: net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	producer := mkNode(1, MinerBaseline)
+	peers := []*Node{producer, mkNode(2, MinerNone), mkNode(3, MinerNone)}
+
+	now := uint64(0)
+	for i := 0; i < 10; i++ {
+		now += 1000
+		net.AdvanceTo(now)
+		if _, err := producer.MineAndBroadcast(now / 1000); err != nil {
+			t.Fatal(err)
+		}
+		// A re-announcement tick: peers behind the head ask the producer
+		// for the gap (models the periodic sync a real client runs).
+		for _, p := range peers[1:] {
+			if p.Chain().Height() < producer.Chain().Height() {
+				net.RequestBlocks(p.ID(), producer.ID(), p.Chain().Height()+1)
+			}
+		}
+	}
+	net.Drain()
+	for i, p := range peers {
+		if p.Chain().Height() != producer.Chain().Height() {
+			t.Errorf("peer %d height %d != producer %d", i+1, p.Chain().Height(), producer.Chain().Height())
+		}
+	}
+}
+
+func TestDuplicateGossipCounted(t *testing.T) {
+	f := newFixture(t, Config{Mode: ModeGeth})
+	tx := f.owner.SignTx(&types.Transaction{
+		Nonce: 0, To: contractAddr, GasPrice: 1, GasLimit: 50_000,
+		Data: types.EncodeCall(asm.SelSet, types.FlagHead, types.ZeroWord, types.ZeroWord),
+	})
+	f.nodes[0].HandleTx(2, tx)
+	f.nodes[0].HandleTx(3, tx) // duplicate
+	st := f.nodes[0].Stats()
+	if st.TxSeen != 2 || st.TxRejected != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeGeth.String() != "geth" || ModeSereth.String() != "sereth" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,251 @@
+// Package p2p provides an in-process simulated peer network with
+// configurable gossip latency and message loss, driven by a virtual
+// clock. Determinism: given the same seed and event schedule, delivery
+// order is identical across runs, which makes the paper's experiments
+// exactly reproducible (DESIGN.md §4).
+package p2p
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"sereth/internal/types"
+)
+
+// PeerID identifies a peer on the network.
+type PeerID int
+
+// Handler receives network messages. Implementations must be safe to call
+// from Network.AdvanceTo and may themselves broadcast.
+type Handler interface {
+	HandleTx(from PeerID, tx *types.Transaction)
+	HandleBlock(from PeerID, block *types.Block)
+	// HandleBlockRequest asks the peer to send blocks from the given
+	// height onward back to the requester (catch-up sync after gossip
+	// loss).
+	HandleBlockRequest(from PeerID, fromNumber uint64)
+}
+
+// Config parameterizes the simulated network.
+type Config struct {
+	// LatencyMs is the one-hop gossip delay in model milliseconds.
+	LatencyMs uint64
+	// DropRate is the probability a unicast delivery is lost.
+	DropRate float64
+	// Seed drives the deterministic loss process.
+	Seed int64
+}
+
+type msgKind int
+
+const (
+	msgTx msgKind = iota + 1
+	msgBlock
+	msgBlockRequest
+)
+
+type envelope struct {
+	deliverAt uint64
+	seq       uint64 // tie-break for deterministic ordering
+	kind      msgKind
+	from      PeerID
+	to        PeerID
+	tx        *types.Transaction
+	block     *types.Block
+	number    uint64
+}
+
+type envelopeHeap []*envelope
+
+func (h envelopeHeap) Len() int { return len(h) }
+func (h envelopeHeap) Less(i, j int) bool {
+	if h[i].deliverAt != h[j].deliverAt {
+		return h[i].deliverAt < h[j].deliverAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h envelopeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *envelopeHeap) Push(x interface{}) { *h = append(*h, x.(*envelope)) }
+func (h *envelopeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Network is the simulated hub connecting peers. Safe for concurrent use;
+// experiments typically drive it from one goroutine.
+type Network struct {
+	cfg Config
+
+	mu       sync.Mutex
+	handlers map[PeerID]Handler
+	queue    envelopeHeap
+	now      uint64
+	seq      uint64
+	rng      *rand.Rand
+	dropped  uint64
+	sent     uint64
+}
+
+// NewNetwork returns an empty network at model time zero.
+func NewNetwork(cfg Config) *Network {
+	return &Network{
+		cfg:      cfg,
+		handlers: make(map[PeerID]Handler),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Join attaches a handler under the given id, replacing any previous one.
+func (n *Network) Join(id PeerID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// Peers returns the joined peer ids in ascending order.
+func (n *Network) Peers() []PeerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerID, 0, len(n.handlers))
+	for id := range n.handlers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Now returns the current model time in milliseconds.
+func (n *Network) Now() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// Stats returns (messages enqueued, messages dropped).
+func (n *Network) Stats() (sent, dropped uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.dropped
+}
+
+// BroadcastTx gossips a transaction from the given peer to every other
+// peer, arriving after the configured latency.
+func (n *Network) BroadcastTx(from PeerID, tx *types.Transaction) {
+	n.broadcast(from, func(to PeerID) *envelope {
+		return &envelope{kind: msgTx, from: from, to: to, tx: tx.Copy()}
+	})
+}
+
+// BroadcastBlock gossips a block.
+func (n *Network) BroadcastBlock(from PeerID, block *types.Block) {
+	n.broadcast(from, func(to PeerID) *envelope {
+		return &envelope{kind: msgBlock, from: from, to: to, block: block}
+	})
+}
+
+// SendBlock delivers a block to one specific peer (sync responses).
+// Direct sends are never dropped: they model a retried reliable fetch.
+func (n *Network) SendBlock(from, to PeerID, block *types.Block) {
+	n.send(&envelope{kind: msgBlock, from: from, to: to, block: block})
+}
+
+// RequestBlocks asks one peer for its blocks from fromNumber onward.
+func (n *Network) RequestBlocks(from, to PeerID, fromNumber uint64) {
+	n.send(&envelope{kind: msgBlockRequest, from: from, to: to, number: fromNumber})
+}
+
+func (n *Network) send(env *envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sent++
+	env.deliverAt = n.now + n.cfg.LatencyMs
+	env.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, env)
+}
+
+func (n *Network) broadcast(from PeerID, mk func(PeerID) *envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]PeerID, 0, len(n.handlers))
+	for id := range n.handlers {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, to := range ids {
+		n.sent++
+		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+			n.dropped++
+			continue
+		}
+		env := mk(to)
+		env.deliverAt = n.now + n.cfg.LatencyMs
+		env.seq = n.seq
+		n.seq++
+		heap.Push(&n.queue, env)
+	}
+}
+
+// AdvanceTo moves model time forward to t (ms), delivering every message
+// scheduled at or before t in deterministic order. Handlers invoked
+// during delivery may enqueue further messages; those are delivered too
+// if they fall within the window.
+func (n *Network) AdvanceTo(t uint64) {
+	for {
+		n.mu.Lock()
+		if len(n.queue) == 0 || n.queue[0].deliverAt > t {
+			if t > n.now {
+				n.now = t // time only moves forward
+			}
+			n.mu.Unlock()
+			return
+		}
+		env := heap.Pop(&n.queue).(*envelope)
+		if env.deliverAt > n.now {
+			n.now = env.deliverAt
+		}
+		h := n.handlers[env.to]
+		n.mu.Unlock()
+		deliver(h, env)
+	}
+}
+
+func deliver(h Handler, env *envelope) {
+	if h == nil {
+		return
+	}
+	switch env.kind {
+	case msgTx:
+		h.HandleTx(env.from, env.tx)
+	case msgBlock:
+		h.HandleBlock(env.from, env.block)
+	case msgBlockRequest:
+		h.HandleBlockRequest(env.from, env.number)
+	}
+}
+
+// Drain delivers every queued message regardless of timestamps, advancing
+// the clock as needed. Useful at the end of an experiment.
+func (n *Network) Drain() {
+	for {
+		n.mu.Lock()
+		if len(n.queue) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		env := heap.Pop(&n.queue).(*envelope)
+		if env.deliverAt > n.now {
+			n.now = env.deliverAt
+		}
+		h := n.handlers[env.to]
+		n.mu.Unlock()
+		deliver(h, env)
+	}
+}

@@ -1,0 +1,205 @@
+package p2p
+
+import (
+	"testing"
+
+	"sereth/internal/types"
+)
+
+type recorder struct {
+	txs    []*types.Transaction
+	blocks []*types.Block
+	// relay, when set, re-broadcasts received txs (cascade test).
+	relay *Network
+	id    PeerID
+}
+
+func (r *recorder) HandleTx(from PeerID, tx *types.Transaction) {
+	r.txs = append(r.txs, tx)
+	if r.relay != nil {
+		r.relay.BroadcastTx(r.id, tx)
+		r.relay = nil // relay once
+	}
+}
+
+func (r *recorder) HandleBlock(from PeerID, b *types.Block) {
+	r.blocks = append(r.blocks, b)
+}
+
+func sampleTx(n uint64) *types.Transaction {
+	return &types.Transaction{Nonce: n, GasLimit: 1, Data: []byte{byte(n)}}
+}
+
+func TestBroadcastExcludesSender(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 10})
+	a, b, c := &recorder{}, &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.Join(3, c)
+
+	net.BroadcastTx(1, sampleTx(7))
+	net.AdvanceTo(9)
+	if len(b.txs) != 0 {
+		t.Error("delivered before latency elapsed")
+	}
+	net.AdvanceTo(10)
+	if len(a.txs) != 0 {
+		t.Error("sender received its own broadcast")
+	}
+	if len(b.txs) != 1 || len(c.txs) != 1 {
+		t.Errorf("deliveries: b=%d c=%d", len(b.txs), len(c.txs))
+	}
+}
+
+func TestZeroLatencyDeliversAtSameTick(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 0})
+	a, b := &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(1))
+	net.AdvanceTo(0)
+	if len(b.txs) != 1 {
+		t.Error("zero-latency message not delivered at t=0")
+	}
+}
+
+func TestCascadedBroadcast(t *testing.T) {
+	// b relays the tx it receives; c must get both copies within the
+	// same AdvanceTo window.
+	net := NewNetwork(Config{LatencyMs: 5})
+	a, c := &recorder{}, &recorder{}
+	b := &recorder{relay: net, id: 2}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.Join(3, c)
+
+	net.BroadcastTx(1, sampleTx(1))
+	net.AdvanceTo(20)
+	if len(c.txs) != 2 {
+		t.Errorf("c received %d copies, want 2 (direct + relayed)", len(c.txs))
+	}
+}
+
+func TestDeterministicDeliveryOrder(t *testing.T) {
+	run := func() []uint64 {
+		net := NewNetwork(Config{LatencyMs: 3, Seed: 9})
+		var order []uint64
+		sink := &orderSink{order: &order}
+		net.Join(1, &recorder{})
+		net.Join(2, sink)
+		for i := uint64(0); i < 20; i++ {
+			net.BroadcastTx(1, sampleTx(i))
+		}
+		net.AdvanceTo(100)
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lens %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("delivery order not deterministic")
+		}
+	}
+}
+
+type orderSink struct{ order *[]uint64 }
+
+func (o *orderSink) HandleTx(_ PeerID, tx *types.Transaction) {
+	*o.order = append(*o.order, tx.Nonce)
+}
+func (o *orderSink) HandleBlock(PeerID, *types.Block)  {}
+func (o *orderSink) HandleBlockRequest(PeerID, uint64) {}
+
+func TestDropRate(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 1, DropRate: 1.0, Seed: 1})
+	a, b := &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(1))
+	net.AdvanceTo(100)
+	if len(b.txs) != 0 {
+		t.Error("message delivered despite 100% drop rate")
+	}
+	sent, dropped := net.Stats()
+	if sent != 1 || dropped != 1 {
+		t.Errorf("stats: sent=%d dropped=%d", sent, dropped)
+	}
+}
+
+func TestPartialDropRateDeterministic(t *testing.T) {
+	count := func(seed int64) int {
+		net := NewNetwork(Config{LatencyMs: 1, DropRate: 0.5, Seed: seed})
+		b := &recorder{}
+		net.Join(1, &recorder{})
+		net.Join(2, b)
+		for i := uint64(0); i < 100; i++ {
+			net.BroadcastTx(1, sampleTx(i))
+		}
+		net.AdvanceTo(1000)
+		return len(b.txs)
+	}
+	if count(7) != count(7) {
+		t.Error("same seed, different loss pattern")
+	}
+	got := count(7)
+	if got < 20 || got > 80 {
+		t.Errorf("drop rate 0.5 delivered %d/100", got)
+	}
+}
+
+func TestBlockBroadcast(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 2})
+	a, b := &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	block := &types.Block{Header: &types.Header{Number: 1}}
+	net.BroadcastBlock(1, block)
+	net.AdvanceTo(2)
+	if len(b.blocks) != 1 || b.blocks[0].Number() != 1 {
+		t.Error("block not delivered")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 1000})
+	b := &recorder{}
+	net.Join(1, &recorder{})
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(1))
+	net.Drain()
+	if len(b.txs) != 1 {
+		t.Error("Drain left messages queued")
+	}
+	if net.Now() < 1000 {
+		t.Error("Drain did not advance the clock")
+	}
+}
+
+func TestTxCopyIsolation(t *testing.T) {
+	net := NewNetwork(Config{})
+	b := &recorder{}
+	net.Join(1, &recorder{})
+	net.Join(2, b)
+	tx := sampleTx(1)
+	net.BroadcastTx(1, tx)
+	tx.Data[0] = 0xff // sender mutates after broadcast
+	net.Drain()
+	if b.txs[0].Data[0] == 0xff {
+		t.Error("network shares the sender's transaction buffer")
+	}
+}
+
+func TestPeersSorted(t *testing.T) {
+	net := NewNetwork(Config{})
+	net.Join(3, &recorder{})
+	net.Join(1, &recorder{})
+	net.Join(2, &recorder{})
+	ids := net.Peers()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Errorf("peers: %v", ids)
+	}
+}
+
+func (r *recorder) HandleBlockRequest(PeerID, uint64) {}

@@ -1,0 +1,153 @@
+// Package raa implements Runtime Argument Augmentation (paper §III-D):
+// an in-process data service the EVM interpreter consults before
+// executing a registered read-only call, writing fresh external data
+// directly into the call's formal arguments. The flagship provider serves
+// Hash-Mark-Set views; arbitrary providers make RAA a lightweight
+// blockchain-oracle replacement.
+package raa
+
+import (
+	"sync"
+
+	"sereth/internal/evm"
+	"sereth/internal/hms"
+	"sereth/internal/types"
+)
+
+// Provider computes replacement argument words for one registered
+// function. Returning ok=false leaves the call unmodified.
+type Provider interface {
+	Provide(contract types.Address, args []types.Word) (replacement []types.Word, ok bool)
+}
+
+// ProviderFunc adapts a function to the Provider interface.
+type ProviderFunc func(contract types.Address, args []types.Word) ([]types.Word, bool)
+
+// Provide implements Provider.
+func (f ProviderFunc) Provide(contract types.Address, args []types.Word) ([]types.Word, bool) {
+	return f(contract, args)
+}
+
+type registration struct {
+	contract types.Address
+	selector types.Selector
+}
+
+// Service routes augmentation requests to providers registered per
+// (contract, selector). It implements evm.RAAProvider and is safe for
+// concurrent use.
+type Service struct {
+	mu        sync.RWMutex
+	providers map[registration]Provider
+}
+
+var _ evm.RAAProvider = (*Service)(nil)
+
+// NewService returns an empty RAA service.
+func NewService() *Service {
+	return &Service{providers: make(map[registration]Provider)}
+}
+
+// Register installs a provider for calls to contract with the given
+// selector, replacing any previous registration.
+func (s *Service) Register(contract types.Address, selector types.Selector, p Provider) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.providers[registration{contract, selector}] = p
+}
+
+// Unregister removes a registration.
+func (s *Service) Unregister(contract types.Address, selector types.Selector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.providers, registration{contract, selector})
+}
+
+// Augment implements evm.RAAProvider. The interpreter invokes it for
+// read-only calls only; the augmented words must fit inside the caller's
+// existing argument list (the "data types must match" restriction of
+// §III-D) or the call is left unchanged.
+func (s *Service) Augment(contract types.Address, input []byte) ([]byte, bool) {
+	sel, ok := types.CallSelector(input)
+	if !ok {
+		return nil, false
+	}
+	s.mu.RLock()
+	p, ok := s.providers[registration{contract, sel}]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	args := decodeArgs(input)
+	replacement, ok := p.Provide(contract, args)
+	if !ok || len(replacement) > len(args) {
+		return nil, false
+	}
+	out := append([]byte{}, input...)
+	for i, w := range replacement {
+		copy(out[types.SelectorLength+i*types.WordLength:], w[:])
+	}
+	return out, true
+}
+
+func decodeArgs(input []byte) []types.Word {
+	body := input[types.SelectorLength:]
+	n := len(body) / types.WordLength
+	args := make([]types.Word, n)
+	for i := 0; i < n; i++ {
+		copy(args[i][:], body[i*types.WordLength:])
+	}
+	return args
+}
+
+// PoolSource supplies the current pending transactions (the TxPool view
+// the HMS provider serializes).
+type PoolSource interface {
+	Pending() []*types.Transaction
+}
+
+// HMSProvider serves READ-UNCOMMITTED views of the tracked variable: the
+// replacement tuple is (flag, mark, value) — exactly the RAA layout the
+// Sereth contract's get/mark functions expect.
+type HMSProvider struct {
+	tracker *hms.Tracker
+	pool    PoolSource
+}
+
+var _ Provider = (*HMSProvider)(nil)
+
+// NewHMSProvider binds a tracker to a pool source.
+func NewHMSProvider(tracker *hms.Tracker, pool PoolSource) *HMSProvider {
+	return &HMSProvider{tracker: tracker, pool: pool}
+}
+
+// Provide implements Provider.
+func (h *HMSProvider) Provide(_ types.Address, args []types.Word) ([]types.Word, bool) {
+	if len(args) < 3 {
+		return nil, false
+	}
+	view := h.tracker.ViewOf(h.pool.Pending())
+	return []types.Word{view.Flag, view.AMV.Mark, view.AMV.Value}, true
+}
+
+// RegisterHMS wires an HMS tracker into the service for the Sereth
+// contract's read functions (get and mark).
+func RegisterHMS(s *Service, tracker *hms.Tracker, pool PoolSource, selectors ...types.Selector) {
+	p := NewHMSProvider(tracker, pool)
+	for _, sel := range selectors {
+		s.Register(tracker.Config().Contract, sel, p)
+	}
+}
+
+// StaticProvider always returns a fixed word tuple; useful as a test
+// stand-in and for constant oracle feeds.
+type StaticProvider struct {
+	Words []types.Word
+}
+
+var _ Provider = StaticProvider{}
+
+// Provide implements Provider.
+func (p StaticProvider) Provide(types.Address, []types.Word) ([]types.Word, bool) {
+	return p.Words, true
+}

@@ -1,0 +1,284 @@
+// Package rlp implements Ethereum's Recursive Length Prefix serialization.
+// It is the canonical byte encoding used before hashing transactions,
+// headers and trie nodes, guaranteeing that two peers hash identical
+// structures to identical digests.
+//
+// The package encodes/decodes a small item algebra rather than arbitrary
+// Go values: an Item is either a byte string or a list of Items. Higher
+// layers (internal/types, internal/trie) map their structs onto Items.
+package rlp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the two RLP item kinds.
+type Kind int
+
+// Item kinds.
+const (
+	KindString Kind = iota + 1
+	KindList
+)
+
+// Item is a node in an RLP value tree.
+type Item struct {
+	kind Kind
+	str  []byte
+	list []Item
+}
+
+// Errors returned by Decode.
+var (
+	ErrTruncated     = errors.New("rlp: input truncated")
+	ErrTrailing      = errors.New("rlp: trailing bytes after value")
+	ErrNonCanonical  = errors.New("rlp: non-canonical encoding")
+	ErrLengthTooBig  = errors.New("rlp: length exceeds input size")
+	ErrExpectedKind  = errors.New("rlp: unexpected item kind")
+	ErrValueTooLarge = errors.New("rlp: integer value too large")
+)
+
+// String returns a string item holding b. The slice is copied.
+func String(b []byte) Item {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return Item{kind: KindString, str: cp}
+}
+
+// Uint returns a string item holding the minimal big-endian encoding of v
+// (empty string for zero), the canonical RLP integer form.
+func Uint(v uint64) Item {
+	if v == 0 {
+		return Item{kind: KindString, str: []byte{}}
+	}
+	var buf [8]byte
+	n := 0
+	for shift := 56; shift >= 0; shift -= 8 {
+		b := byte(v >> uint(shift))
+		if n == 0 && b == 0 {
+			continue
+		}
+		buf[n] = b
+		n++
+	}
+	return Item{kind: KindString, str: append([]byte{}, buf[:n]...)}
+}
+
+// List returns a list item of the given children.
+func List(items ...Item) Item {
+	cp := make([]Item, len(items))
+	copy(cp, items)
+	return Item{kind: KindList, list: cp}
+}
+
+// Kind returns the item's kind. The zero Item has kind 0 (invalid).
+func (it Item) Kind() Kind { return it.kind }
+
+// Bytes returns the payload of a string item.
+func (it Item) Bytes() ([]byte, error) {
+	if it.kind != KindString {
+		return nil, ErrExpectedKind
+	}
+	return it.str, nil
+}
+
+// AsUint decodes a canonical RLP integer string into a uint64.
+func (it Item) AsUint() (uint64, error) {
+	b, err := it.Bytes()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) > 8 {
+		return 0, ErrValueTooLarge
+	}
+	if len(b) > 0 && b[0] == 0 {
+		return 0, ErrNonCanonical
+	}
+	var v uint64
+	for _, c := range b {
+		v = v<<8 | uint64(c)
+	}
+	return v, nil
+}
+
+// Items returns the children of a list item.
+func (it Item) Items() ([]Item, error) {
+	if it.kind != KindList {
+		return nil, ErrExpectedKind
+	}
+	return it.list, nil
+}
+
+// Encode serializes the item to its canonical RLP byte encoding.
+func Encode(it Item) []byte {
+	var out []byte
+	return appendItem(out, it)
+}
+
+func appendItem(out []byte, it Item) []byte {
+	switch it.kind {
+	case KindString:
+		return appendString(out, it.str)
+	case KindList:
+		var payload []byte
+		for _, child := range it.list {
+			payload = appendItem(payload, child)
+		}
+		out = appendLength(out, len(payload), 0xc0)
+		return append(out, payload...)
+	default:
+		// Treat the zero Item as the empty string for robustness.
+		return appendString(out, nil)
+	}
+}
+
+func appendString(out, s []byte) []byte {
+	if len(s) == 1 && s[0] < 0x80 {
+		return append(out, s[0])
+	}
+	out = appendLength(out, len(s), 0x80)
+	return append(out, s...)
+}
+
+func appendLength(out []byte, n int, offset byte) []byte {
+	if n < 56 {
+		return append(out, offset+byte(n))
+	}
+	var lenBytes [8]byte
+	k := 0
+	for shift := 56; shift >= 0; shift -= 8 {
+		b := byte(uint64(n) >> uint(shift))
+		if k == 0 && b == 0 {
+			continue
+		}
+		lenBytes[k] = b
+		k++
+	}
+	out = append(out, offset+55+byte(k))
+	return append(out, lenBytes[:k]...)
+}
+
+// Decode parses exactly one RLP value from data, rejecting trailing bytes
+// and non-canonical encodings.
+func Decode(data []byte) (Item, error) {
+	it, rest, err := decodeOne(data)
+	if err != nil {
+		return Item{}, err
+	}
+	if len(rest) != 0 {
+		return Item{}, ErrTrailing
+	}
+	return it, nil
+}
+
+func decodeOne(data []byte) (Item, []byte, error) {
+	if len(data) == 0 {
+		return Item{}, nil, ErrTruncated
+	}
+	prefix := data[0]
+	switch {
+	case prefix < 0x80: // single byte
+		return Item{kind: KindString, str: data[:1]}, data[1:], nil
+
+	case prefix <= 0xb7: // short string
+		n := int(prefix - 0x80)
+		if len(data)-1 < n {
+			return Item{}, nil, ErrLengthTooBig
+		}
+		s := data[1 : 1+n]
+		if n == 1 && s[0] < 0x80 {
+			return Item{}, nil, ErrNonCanonical
+		}
+		return Item{kind: KindString, str: s}, data[1+n:], nil
+
+	case prefix <= 0xbf: // long string
+		n, rest, err := decodeLongLength(data, prefix-0xb7)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if len(rest) < n {
+			return Item{}, nil, ErrLengthTooBig
+		}
+		return Item{kind: KindString, str: rest[:n]}, rest[n:], nil
+
+	case prefix <= 0xf7: // short list
+		n := int(prefix - 0xc0)
+		if len(data)-1 < n {
+			return Item{}, nil, ErrLengthTooBig
+		}
+		children, err := decodeList(data[1 : 1+n])
+		if err != nil {
+			return Item{}, nil, err
+		}
+		return Item{kind: KindList, list: children}, data[1+n:], nil
+
+	default: // long list
+		n, rest, err := decodeLongLength(data, prefix-0xf7)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if len(rest) < n {
+			return Item{}, nil, ErrLengthTooBig
+		}
+		children, err := decodeList(rest[:n])
+		if err != nil {
+			return Item{}, nil, err
+		}
+		return Item{kind: KindList, list: children}, rest[n:], nil
+	}
+}
+
+func decodeLongLength(data []byte, lenOfLen byte) (int, []byte, error) {
+	k := int(lenOfLen)
+	if len(data)-1 < k {
+		return 0, nil, ErrTruncated
+	}
+	lenBytes := data[1 : 1+k]
+	if lenBytes[0] == 0 {
+		return 0, nil, ErrNonCanonical
+	}
+	var n uint64
+	for _, b := range lenBytes {
+		n = n<<8 | uint64(b)
+	}
+	if n < 56 {
+		return 0, nil, ErrNonCanonical
+	}
+	if n > uint64(len(data)) {
+		return 0, nil, ErrLengthTooBig
+	}
+	return int(n), data[1+k:], nil
+}
+
+func decodeList(payload []byte) ([]Item, error) {
+	var children []Item
+	for len(payload) > 0 {
+		child, rest, err := decodeOne(payload)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		payload = rest
+	}
+	return children, nil
+}
+
+// GoString renders the item tree for debugging.
+func (it Item) GoString() string {
+	switch it.kind {
+	case KindString:
+		return fmt.Sprintf("%x", it.str)
+	case KindList:
+		s := "["
+		for i, c := range it.list {
+			if i > 0 {
+				s += " "
+			}
+			s += c.GoString()
+		}
+		return s + "]"
+	default:
+		return "<invalid>"
+	}
+}

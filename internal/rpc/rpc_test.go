@@ -1,0 +1,207 @@
+package rpc
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sereth/internal/asm"
+	"sereth/internal/chain"
+	"sereth/internal/node"
+	"sereth/internal/p2p"
+	"sereth/internal/statedb"
+	"sereth/internal/types"
+	"sereth/internal/wallet"
+)
+
+var contractAddr = types.Address{19: 0xcc}
+
+func testServer(t *testing.T) (*httptest.Server, *node.Node, *wallet.Key) {
+	t.Helper()
+	owner := wallet.NewKey("owner")
+	reg := wallet.NewRegistry()
+	reg.Register(owner)
+	genesis := statedb.New()
+	genesis.SetCode(contractAddr, asm.SerethContract())
+	chainCfg := chain.DefaultConfig()
+	chainCfg.Registry = reg
+
+	net := p2p.NewNetwork(p2p.Config{})
+	n, err := node.New(node.Config{
+		ID: 1, Mode: node.ModeSereth, Miner: node.MinerBaseline,
+		Contract: contractAddr, Chain: chainCfg, Genesis: genesis, Network: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(n, contractAddr))
+	t.Cleanup(srv.Close)
+	return srv, n, owner
+}
+
+func TestBlockNumberAndStorage(t *testing.T) {
+	srv, n, owner := testServer(t)
+	c := NewClient(srv.URL)
+
+	h, err := c.BlockNumber()
+	if err != nil || h != 0 {
+		t.Fatalf("height %d err %v", h, err)
+	}
+
+	// Submit a set via raw tx and mine.
+	tx := owner.SignTx(&types.Transaction{
+		Nonce: 0, To: contractAddr, GasPrice: 10, GasLimit: 300_000,
+		Data: types.EncodeCall(asm.SelSet, types.FlagHead, types.ZeroWord, types.WordFromUint64(9)),
+	})
+	hash, err := c.SendRawTransaction(tx.EncodeRLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != tx.Hash().Hex() {
+		t.Error("returned hash mismatch")
+	}
+	var pool struct {
+		Pending string `json:"pending"`
+	}
+	if err := c.Call("txpool_status", &pool); err != nil || pool.Pending != "0x1" {
+		t.Errorf("pool status %v err %v", pool, err)
+	}
+
+	if _, err := n.MineAndBroadcast(15); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ = c.BlockNumber(); h != 1 {
+		t.Errorf("height after mine = %d", h)
+	}
+
+	var stored string
+	if err := c.Call("eth_getStorageAt", &stored, contractAddr.Hex(), "0x2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(stored, "09") {
+		t.Errorf("storage = %s", stored)
+	}
+
+	var nonce string
+	if err := c.Call("eth_getTransactionCount", &nonce, owner.Address().Hex()); err != nil || nonce != "0x1" {
+		t.Errorf("nonce %s err %v", nonce, err)
+	}
+}
+
+func TestViewAndSeries(t *testing.T) {
+	srv, _, owner := testServer(t)
+	c := NewClient(srv.URL)
+
+	view, err := c.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(view.Mark, "0x") {
+		t.Error("view mark not hex")
+	}
+
+	// Pending set shows up in the view and series.
+	tx := owner.SignTx(&types.Transaction{
+		Nonce: 0, To: contractAddr, GasPrice: 10, GasLimit: 300_000,
+		Data: types.EncodeCall(asm.SelSet, types.FlagHead, types.ZeroWord, types.WordFromUint64(5)),
+	})
+	if _, err := c.SendRawTransaction(tx.EncodeRLP()); err != nil {
+		t.Fatal(err)
+	}
+	view, err = c.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(view.Value, "5") {
+		t.Errorf("view value = %s", view.Value)
+	}
+	var series []string
+	if err := c.Call("sereth_series", &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Errorf("series len = %d", len(series))
+	}
+}
+
+func TestEthCallThroughRAA(t *testing.T) {
+	srv, _, owner := testServer(t)
+	c := NewClient(srv.URL)
+
+	tx := owner.SignTx(&types.Transaction{
+		Nonce: 0, To: contractAddr, GasPrice: 10, GasLimit: 300_000,
+		Data: types.EncodeCall(asm.SelSet, types.FlagHead, types.ZeroWord, types.WordFromUint64(1234)),
+	})
+	if _, err := c.SendRawTransaction(tx.EncodeRLP()); err != nil {
+		t.Fatal(err)
+	}
+	// get() through eth_call on a Sereth node returns the pending price.
+	data := types.EncodeCall(asm.SelGet, types.ZeroWord, types.ZeroWord, types.ZeroWord)
+	var out string
+	if err := c.Call("eth_call", &out, contractAddr.Hex(), "0x"+hex.EncodeToString(data)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(out, "4d2") { // 1234 = 0x4d2
+		t.Errorf("eth_call = %s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	srv, _, _ := testServer(t)
+	c := NewClient(srv.URL)
+
+	if err := c.Call("bogus_method", nil); !errors.Is(err, ErrRPC) {
+		t.Errorf("unknown method: %v", err)
+	}
+	if err := c.Call("eth_getStorageAt", nil, "0xzz", "0x0"); !errors.Is(err, ErrRPC) {
+		t.Errorf("bad address: %v", err)
+	}
+	if err := c.Call("eth_getStorageAt", nil, "0x01"); !errors.Is(err, ErrRPC) {
+		t.Errorf("missing param: %v", err)
+	}
+	if err := c.Call("eth_sendRawTransaction", nil, "0x00"); !errors.Is(err, ErrRPC) {
+		t.Errorf("bad tx: %v", err)
+	}
+	// Unsigned tx rejected by the pool validator.
+	bogus := &types.Transaction{Nonce: 0, To: contractAddr, GasLimit: 100}
+	if err := c.Call("eth_sendRawTransaction", nil, "0x"+hex.EncodeToString(bogus.EncodeRLP())); !errors.Is(err, ErrRPC) {
+		t.Errorf("unsigned tx: %v", err)
+	}
+}
+
+func TestHTTPMethodGuard(t *testing.T) {
+	srv, _, _ := testServer(t)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	srv, _, _ := testServer(t)
+	resp, err := http.Post(srv.URL, "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Body carries a parse error.
+	var out struct {
+		Error *struct {
+			Code int `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.Error == nil || out.Error.Code != codeParse {
+		t.Errorf("parse error not reported: %+v err=%v", out, err)
+	}
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sereth/internal/metrics"
+)
+
+// SweepPoint is one (scenario, ratio) cell of an experiment sweep,
+// aggregated over seeds.
+type SweepPoint struct {
+	Scenario string
+	Sets     int
+	Ratio    float64 // buys per set
+	Eta      metrics.Summary
+	StateTps metrics.Summary
+}
+
+// Figure2Scenarios are the three lines of the paper's Figure 2.
+var Figure2Scenarios = []struct {
+	Name string
+	Make func(sets int, seed int64) ScenarioConfig
+}{
+	{"geth_unmodified", GethUnmodified},
+	{"sereth_client", SerethClient},
+	{"semantic_mining", SemanticMining},
+}
+
+// Figure2SetCounts are the set counts of the paper's sweep: 100 buys
+// against 100 down to 5 sets (ratios 1:1 to 20:1).
+var Figure2SetCounts = []int{100, 50, 33, 25, 20, 10, 6, 5}
+
+// RunFigure2 sweeps the three scenarios over the given set counts and
+// seeds, returning one point per (scenario, sets). A nil progress
+// callback is allowed.
+func RunFigure2(setCounts []int, seeds []int64, progress func(string)) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, sets := range setCounts {
+		for _, sc := range Figure2Scenarios {
+			var etas, tps []float64
+			for _, seed := range seeds {
+				res, err := Run(sc.Make(sets, seed))
+				if err != nil {
+					return nil, fmt.Errorf("%s sets=%d seed=%d: %w", sc.Name, sets, seed, err)
+				}
+				etas = append(etas, res.Efficiency())
+				tps = append(tps, res.StateTps())
+			}
+			p := SweepPoint{
+				Scenario: sc.Name,
+				Sets:     sets,
+				Ratio:    float64(100) / float64(sets),
+				Eta:      metrics.Summarize(etas),
+				StateTps: metrics.Summarize(tps),
+			}
+			points = append(points, p)
+			if progress != nil {
+				progress(fmt.Sprintf("%-16s sets=%3d ratio=%5.1f  η=%.3f ±%.3f",
+					p.Scenario, p.Sets, p.Ratio, p.Eta.Mean, p.Eta.CI90))
+			}
+		}
+	}
+	return points, nil
+}
+
+// FormatSweep renders sweep points as an aligned table, grouped by
+// scenario and ordered by ratio — the textual form of Figure 2.
+func FormatSweep(points []SweepPoint) string {
+	byScenario := make(map[string][]SweepPoint)
+	var order []string
+	for _, p := range points {
+		if _, ok := byScenario[p.Scenario]; !ok {
+			order = append(order, p.Scenario)
+		}
+		byScenario[p.Scenario] = append(byScenario[p.Scenario], p)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %6s %10s %10s %12s\n",
+		"scenario", "ratio", "sets", "eta_mean", "eta_ci90", "state_tps")
+	for _, name := range order {
+		ps := byScenario[name]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Ratio < ps[j].Ratio })
+		for _, p := range ps {
+			fmt.Fprintf(&b, "%-18s %7.1f:1 %6d %10.4f %10.4f %12.4f\n",
+				p.Scenario, p.Ratio, p.Sets, p.Eta.Mean, p.Eta.CI90, p.StateTps.Mean)
+		}
+	}
+	return b.String()
+}
+
+// SequentialHistory runs the §V single-sender check: with one address,
+// real-time order = nonce order = block order, so η must be exactly 1.
+// A plain geth client suffices — no remote views are needed when the
+// sender knows its own history.
+func SequentialHistory(seed int64) (Result, error) {
+	cfg := Defaults()
+	cfg.Name = "sequential_history"
+	cfg.Seed = seed
+	cfg.Sets = 20
+	cfg.SingleSender = true
+	return Run(cfg)
+}
+
+// ParticipationPoint is one cell of the miner-participation ablation.
+type ParticipationPoint struct {
+	Fraction float64
+	Eta      metrics.Summary
+}
+
+// RunParticipation sweeps the fraction of semantic miners (§V-C: "if
+// only a fraction of the miners were assisting... there would still be
+// benefits proportional to the participation").
+func RunParticipation(fractions []float64, seeds []int64, sets int) ([]ParticipationPoint, error) {
+	var out []ParticipationPoint
+	for _, f := range fractions {
+		var etas []float64
+		for _, seed := range seeds {
+			cfg := SemanticMining(sets, seed)
+			cfg.Name = fmt.Sprintf("participation_%.2f", f)
+			cfg.SemanticFraction = f
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			etas = append(etas, res.Efficiency())
+		}
+		out = append(out, ParticipationPoint{Fraction: f, Eta: metrics.Summarize(etas)})
+	}
+	return out, nil
+}
+
+// GossipPoint is one cell of the TxPool-propagation ablation.
+type GossipPoint struct {
+	LatencyMs uint64
+	Eta       metrics.Summary
+}
+
+// RunGossip sweeps the gossip latency for the sereth_client scenario
+// (§V-C: "if communication of the TxPool were impeded among the Sereth
+// enabled peers... performance would be degraded").
+func RunGossip(latenciesMs []uint64, seeds []int64, sets int) ([]GossipPoint, error) {
+	var out []GossipPoint
+	for _, lat := range latenciesMs {
+		var etas []float64
+		for _, seed := range seeds {
+			cfg := SerethClient(sets, seed)
+			cfg.Name = fmt.Sprintf("gossip_%dms", lat)
+			cfg.GossipLatencyMs = lat
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			etas = append(etas, res.Efficiency())
+		}
+		out = append(out, GossipPoint{LatencyMs: lat, Eta: metrics.Summarize(etas)})
+	}
+	return out, nil
+}
+
+// IntervalPoint is one cell of the submit-interval sensitivity ablation.
+type IntervalPoint struct {
+	IntervalMs uint64
+	Eta        metrics.Summary
+}
+
+// RunInterval sweeps the submission interval at a high buy:set ratio
+// (§V-A: "with few state changes transaction efficiency becomes more
+// sensitive to the transaction interval").
+func RunInterval(intervalsMs []uint64, seeds []int64, sets int) ([]IntervalPoint, error) {
+	var out []IntervalPoint
+	for _, iv := range intervalsMs {
+		var etas []float64
+		for _, seed := range seeds {
+			cfg := GethUnmodified(sets, seed)
+			cfg.Name = fmt.Sprintf("interval_%dms", iv)
+			cfg.SubmitIntervalMs = iv
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			etas = append(etas, res.Efficiency())
+		}
+		out = append(out, IntervalPoint{IntervalMs: iv, Eta: metrics.Summarize(etas)})
+	}
+	return out, nil
+}
+
+// ExtendHeadsPoint is one cell of the orphan-recovery ablation.
+type ExtendHeadsPoint struct {
+	Extended bool
+	Eta      metrics.Summary
+}
+
+// RunExtendHeads compares semantic mining with and without the HMS
+// head-extension that recovers post-publish orphans (the paper's
+// "efficiency could approach 100 percent if HMS were extended", §V-C).
+func RunExtendHeads(seeds []int64, sets int) ([]ExtendHeadsPoint, error) {
+	var out []ExtendHeadsPoint
+	for _, ext := range []bool{false, true} {
+		var etas []float64
+		for _, seed := range seeds {
+			cfg := SemanticMining(sets, seed)
+			cfg.Name = fmt.Sprintf("extendheads_%v", ext)
+			cfg.ExtendHeads = ext
+			res, err := Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			etas = append(etas, res.Efficiency())
+		}
+		out = append(out, ExtendHeadsPoint{Extended: ext, Eta: metrics.Summarize(etas)})
+	}
+	return out, nil
+}
+
+// DefaultSeeds returns n deterministic experiment seeds.
+func DefaultSeeds(n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i+1) * 101
+	}
+	return seeds
+}

@@ -1,0 +1,459 @@
+// Package sim is the evaluation harness: it reconstructs the paper's
+// experiments (§V) on the simulated network. A scenario builds a small
+// peer topology (two miner peers and a client peer), replays the
+// dynamic-pricing workload — 100 buys at a fixed submit interval with
+// sets evenly spaced over them — and measures transaction efficiency
+// η = succeeded/included over the buys, exactly the quantity Figure 2
+// plots against the buy:set ratio.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sereth/internal/asm"
+	"sereth/internal/chain"
+	"sereth/internal/node"
+	"sereth/internal/p2p"
+	"sereth/internal/statedb"
+	"sereth/internal/types"
+	"sereth/internal/wallet"
+)
+
+// ScenarioConfig parameterizes one experiment run.
+type ScenarioConfig struct {
+	Name string
+	Seed int64
+
+	// Workload shape.
+	Buys             int    // buy transactions per run (paper: 100)
+	Sets             int    // set transactions spread over the buys
+	SubmitIntervalMs uint64 // per-buy submission interval (paper: 1000)
+	Buyers           int    // distinct buyer accounts, round-robin
+
+	// Chain and network shape.
+	BlockIntervalMs uint64 // mean block interval (paper regime: 15000)
+	// PoissonBlocks draws each interval from an exponential distribution
+	// with the above mean, clamped to [mean/4, 4*mean] — the variability
+	// of proof-of-work block times that produces the paper's transient
+	// backlogs and multi-block-stale views (§V-A). False = fixed cadence.
+	PoissonBlocks   bool
+	BlockGasLimit   uint64  // controls block capacity
+	GossipLatencyMs uint64  // one-hop gossip delay
+	DropRate        float64 // gossip loss probability
+	// ReorderWindow is the baseline miner's same-price reordering noise
+	// in transaction positions (gossip/heap skew); 0 = FIFO.
+	ReorderWindow int
+
+	// Client/miner configuration (the three Figure-2 lines).
+	ClientMode node.Mode
+	// SemanticFraction is the probability each block is produced by the
+	// semantic miner instead of the baseline miner (participation
+	// ablation; 0 = pure baseline, 1 = pure semantic mining).
+	SemanticFraction float64
+	// ExtendHeads enables the HMS orphan-recovery extension (ablation).
+	ExtendHeads bool
+	// SingleSender runs the §V sequential-history check: every
+	// transaction from one address, so nonce order = block order.
+	SingleSender bool
+	// DrainBlocks bounds the extra block intervals mined after the last
+	// submission so the backlog clears.
+	DrainBlocks int
+}
+
+// Defaults returns the shared experiment parameterization (the private
+// Ethereum-like regime of §V): 1 tx/s submissions, 15 s blocks, block
+// capacity slightly below the arrival rate so a realistic backlog forms.
+func Defaults() ScenarioConfig {
+	return ScenarioConfig{
+		Buys:             100,
+		Sets:             20,
+		SubmitIntervalMs: 1000,
+		Buyers:           25,
+		BlockIntervalMs:  15000,
+		PoissonBlocks:    true,
+		BlockGasLimit:    5_400_000, // 18 tx of 300k gas per block
+		GossipLatencyMs:  250,
+		ReorderWindow:    4,
+		ClientMode:       node.ModeGeth,
+		SemanticFraction: 0,
+		DrainBlocks:      40,
+	}
+}
+
+// GethUnmodified configures the baseline line of Figure 2.
+func GethUnmodified(sets int, seed int64) ScenarioConfig {
+	cfg := Defaults()
+	cfg.Name = "geth_unmodified"
+	cfg.Sets = sets
+	cfg.Seed = seed
+	cfg.ClientMode = node.ModeGeth
+	return cfg
+}
+
+// SerethClient configures the HMS-without-miner-assistance line.
+func SerethClient(sets int, seed int64) ScenarioConfig {
+	cfg := Defaults()
+	cfg.Name = "sereth_client"
+	cfg.Sets = sets
+	cfg.Seed = seed
+	cfg.ClientMode = node.ModeSereth
+	return cfg
+}
+
+// SemanticMining configures the miner-assisted line.
+func SemanticMining(sets int, seed int64) ScenarioConfig {
+	cfg := Defaults()
+	cfg.Name = "semantic_mining"
+	cfg.Sets = sets
+	cfg.Seed = seed
+	cfg.ClientMode = node.ModeSereth
+	cfg.SemanticFraction = 1
+	return cfg
+}
+
+// Result aggregates one scenario run.
+type Result struct {
+	Config ScenarioConfig
+
+	BuysSubmitted int
+	BuysIncluded  int
+	BuysSucceeded int
+	SetsSubmitted int
+	SetsIncluded  int
+	SetsSucceeded int
+	Blocks        int
+	DurationS     float64
+}
+
+// Efficiency returns η over the buys, the Figure-2 y-axis.
+func (r Result) Efficiency() float64 {
+	if r.BuysIncluded == 0 {
+		return 0
+	}
+	return float64(r.BuysSucceeded) / float64(r.BuysIncluded)
+}
+
+// SetEfficiency returns η over the sets (the paper reports all sets
+// succeed, §V-A).
+func (r Result) SetEfficiency() float64 {
+	if r.SetsIncluded == 0 {
+		return 1
+	}
+	return float64(r.SetsSucceeded) / float64(r.SetsIncluded)
+}
+
+// RawTps returns raw throughput over the whole run.
+func (r Result) RawTps() float64 {
+	if r.DurationS <= 0 {
+		return 0
+	}
+	return float64(r.BuysIncluded+r.SetsIncluded) / r.DurationS
+}
+
+// StateTps returns state throughput T_state = η·T_raw.
+func (r Result) StateTps() float64 {
+	if r.DurationS <= 0 {
+		return 0
+	}
+	return float64(r.BuysSucceeded+r.SetsSucceeded) / r.DurationS
+}
+
+// Run executes the scenario and returns its result.
+func Run(cfg ScenarioConfig) (Result, error) {
+	s, err := newScenario(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.run()
+}
+
+type eventKind int
+
+const (
+	evSet eventKind = iota + 1
+	evBuy
+	evBlock
+)
+
+type event struct {
+	at   uint64
+	kind eventKind
+	idx  int
+}
+
+type scenario struct {
+	cfg ScenarioConfig
+	rng *rand.Rand
+
+	net         *p2p.Network
+	semanticMin *node.Node
+	baselineMin *node.Node
+	client      *node.Node
+
+	contract types.Address
+	owner    *wallet.Key
+	buyers   []*wallet.Key
+
+	ownerNonce uint64
+	buyerNonce []uint64
+	ownerMark  types.Word // owner's locally-tracked chain of marks
+	ownerValue types.Word // value of the owner's latest set
+	ownerSets  int
+	buysSent   int
+	buyHashes  map[types.Hash]bool
+	setHashes  map[types.Hash]bool
+}
+
+func newScenario(cfg ScenarioConfig) (*scenario, error) {
+	if cfg.Buys <= 0 || cfg.Sets < 0 {
+		return nil, fmt.Errorf("sim: invalid workload %d buys / %d sets", cfg.Buys, cfg.Sets)
+	}
+	if cfg.Buyers <= 0 {
+		cfg.Buyers = 1
+	}
+	s := &scenario{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		contract:  types.Address{19: 0xcc},
+		buyHashes: make(map[types.Hash]bool),
+		setHashes: make(map[types.Hash]bool),
+	}
+
+	reg := wallet.NewRegistry()
+	s.owner = wallet.NewKey(fmt.Sprintf("owner-%d", cfg.Seed))
+	reg.Register(s.owner)
+	if cfg.SingleSender {
+		s.buyers = []*wallet.Key{s.owner}
+	} else {
+		for i := 0; i < cfg.Buyers; i++ {
+			k := wallet.NewKey(fmt.Sprintf("buyer-%d-%d", cfg.Seed, i))
+			reg.Register(k)
+			s.buyers = append(s.buyers, k)
+		}
+	}
+	s.buyerNonce = make([]uint64, len(s.buyers))
+
+	genesis := statedb.New()
+	genesis.SetCode(s.contract, asm.SerethContract())
+	chainCfg := chain.Config{GasLimit: cfg.BlockGasLimit, Registry: reg}
+
+	s.net = p2p.NewNetwork(p2p.Config{
+		LatencyMs: cfg.GossipLatencyMs,
+		DropRate:  cfg.DropRate,
+		Seed:      cfg.Seed + 1,
+	})
+
+	mk := func(id p2p.PeerID, mode node.Mode, minerKind node.MinerKind) (*node.Node, error) {
+		return node.New(node.Config{
+			ID: id, Mode: mode, Miner: minerKind,
+			Contract: s.contract, Chain: chainCfg, Genesis: genesis,
+			Network: s.net, Seed: cfg.Seed + int64(id)*7,
+			ExtendHeads: cfg.ExtendHeads, ReorderWindow: cfg.ReorderWindow,
+		})
+	}
+	var err error
+	if s.semanticMin, err = mk(1, node.ModeSereth, node.MinerSemantic); err != nil {
+		return nil, err
+	}
+	if s.baselineMin, err = mk(2, node.ModeGeth, node.MinerBaseline); err != nil {
+		return nil, err
+	}
+	if s.client, err = mk(3, cfg.ClientMode, node.MinerNone); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// schedule builds the merged submission timeline. The opening set
+// happens at t=0 (the market's opening price, §II-F) and the buys start
+// after the first block so they never read the empty genesis state.
+func (s *scenario) schedule() []event {
+	var events []event
+	buyStart := s.cfg.BlockIntervalMs
+	span := uint64(s.cfg.Buys) * s.cfg.SubmitIntervalMs
+
+	events = append(events, event{at: 0, kind: evSet, idx: -1}) // opening price
+	for i := 0; i < s.cfg.Buys; i++ {
+		events = append(events, event{at: buyStart + uint64(i)*s.cfg.SubmitIntervalMs, kind: evBuy, idx: i})
+	}
+	for k := 0; k < s.cfg.Sets; k++ {
+		at := buyStart + uint64(float64(k)*float64(span)/float64(s.cfg.Sets))
+		events = append(events, event{at: at, kind: evSet, idx: k})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	return events
+}
+
+func (s *scenario) run() (Result, error) {
+	events := s.schedule()
+	lastSubmit := events[len(events)-1].at
+
+	blockTime := s.nextBlockGap()
+	ei := 0
+	// Phase 1: interleave submissions and block production.
+	for ei < len(events) || blockTime <= lastSubmit+s.cfg.BlockIntervalMs {
+		nextEvent := ^uint64(0)
+		if ei < len(events) {
+			nextEvent = events[ei].at
+		}
+		if blockTime <= nextEvent {
+			s.net.AdvanceTo(blockTime)
+			if err := s.mine(blockTime); err != nil {
+				return Result{}, err
+			}
+			blockTime += s.nextBlockGap()
+			continue
+		}
+		s.net.AdvanceTo(nextEvent)
+		if err := s.dispatch(events[ei]); err != nil {
+			return Result{}, err
+		}
+		ei++
+	}
+	// Phase 2: drain the backlog.
+	for i := 0; i < s.cfg.DrainBlocks; i++ {
+		s.net.AdvanceTo(blockTime)
+		if err := s.mine(blockTime); err != nil {
+			return Result{}, err
+		}
+		blockTime += s.nextBlockGap()
+		if s.poolsEmpty() {
+			break
+		}
+	}
+	s.net.Drain()
+	return s.collect()
+}
+
+func (s *scenario) poolsEmpty() bool {
+	return s.semanticMin.Pool().Len() == 0 &&
+		s.baselineMin.Pool().Len() == 0 &&
+		s.client.Pool().Len() == 0
+}
+
+// nextBlockGap draws the time to the next block: exponential with the
+// configured mean under PoissonBlocks (clamped to [mean/4, 4*mean]),
+// fixed otherwise.
+func (s *scenario) nextBlockGap() uint64 {
+	if !s.cfg.PoissonBlocks {
+		return s.cfg.BlockIntervalMs
+	}
+	mean := float64(s.cfg.BlockIntervalMs)
+	gap := s.rng.ExpFloat64() * mean
+	if gap < mean/4 {
+		gap = mean / 4
+	}
+	if gap > mean*4 {
+		gap = mean * 4
+	}
+	return uint64(gap)
+}
+
+// mine picks the block producer per the semantic participation fraction.
+func (s *scenario) mine(at uint64) error {
+	producer := s.baselineMin
+	if s.cfg.SemanticFraction > 0 && s.rng.Float64() < s.cfg.SemanticFraction {
+		producer = s.semanticMin
+	}
+	_, err := producer.MineAndBroadcast(at / 1000)
+	return err
+}
+
+func (s *scenario) dispatch(ev event) error {
+	switch ev.kind {
+	case evSet:
+		return s.submitSet()
+	case evBuy:
+		return s.submitBuy(ev.idx)
+	default:
+		return fmt.Errorf("sim: unknown event kind %d", ev.kind)
+	}
+}
+
+// submitSet issues the owner's next price change. The owner tracks its
+// own mark chain locally (its transactions are sequentially consistent
+// from its own thread, §II-C), so sets never need a remote view and all
+// of them succeed — matching §V-A.
+func (s *scenario) submitSet() error {
+	price := types.WordFromUint64(uint64(10 + s.rng.Intn(90)))
+	committedMark := s.client.StorageAt(s.contract, asm.SlotMark)
+	flag := types.FlagChain
+	if s.ownerMark == committedMark {
+		flag = types.FlagHead
+	}
+	tx, err := s.client.SubmitSet(s.owner, s.ownerNonce, s.contract, flag, s.ownerMark, price)
+	if err != nil {
+		return fmt.Errorf("submit set %d: %w", s.ownerSets, err)
+	}
+	s.ownerNonce++
+	s.ownerSets++
+	s.ownerMark = types.NextMark(s.ownerMark, price)
+	s.ownerValue = price
+	s.setHashes[tx.Hash()] = true
+	return nil
+}
+
+// submitBuy issues a buy from the next buyer using the client node's best
+// view: committed storage on a Geth client, the RAA/HMS READ-UNCOMMITTED
+// view on a Sereth client.
+func (s *scenario) submitBuy(i int) error {
+	buyerIdx := i % len(s.buyers)
+	key := s.buyers[buyerIdx]
+
+	var flag, mark, value types.Word
+	var nonce uint64
+	if s.cfg.SingleSender {
+		// Sequential-history check (§V): the single sender knows its own
+		// chain — real-time order = nonce order = block order, so its
+		// locally-tracked (mark, value) is always exact.
+		flag, mark, value = types.FlagChain, s.ownerMark, s.ownerValue
+		nonce = s.ownerNonce
+		s.ownerNonce++
+	} else {
+		flag, mark, value = s.client.ViewAMV(key.Address(), s.contract)
+		nonce = s.buyerNonce[buyerIdx]
+		s.buyerNonce[buyerIdx]++
+	}
+	tx, err := s.client.SubmitBuy(key, nonce, s.contract, flag, mark, value)
+	if err != nil {
+		return fmt.Errorf("submit buy %d: %w", i, err)
+	}
+	s.buysSent++
+	s.buyHashes[tx.Hash()] = true
+	return nil
+}
+
+// collect walks the client's chain and classifies every receipt.
+func (s *scenario) collect() (Result, error) {
+	res := Result{
+		Config:        s.cfg,
+		BuysSubmitted: s.buysSent,
+		SetsSubmitted: s.ownerSets,
+	}
+	c := s.client.Chain()
+	res.Blocks = int(c.Height())
+	var lastTime uint64
+	for n := uint64(1); n <= c.Height(); n++ {
+		block := c.BlockByNumber(n)
+		lastTime = block.Header.Time
+		for _, receipt := range c.Receipts(block.Hash()) {
+			succeeded := receipt.Status == types.StatusSucceeded
+			switch {
+			case s.buyHashes[receipt.TxHash]:
+				res.BuysIncluded++
+				if succeeded {
+					res.BuysSucceeded++
+				}
+			case s.setHashes[receipt.TxHash]:
+				res.SetsIncluded++
+				if succeeded {
+					res.SetsSucceeded++
+				}
+			}
+		}
+	}
+	res.DurationS = float64(lastTime)
+	return res, nil
+}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"sereth/internal/node"
+)
+
+// fast returns a reduced workload for unit-test speed; the statistical
+// assertions use enough seeds to be stable.
+func fast(cfg ScenarioConfig) ScenarioConfig {
+	cfg.Buys = 40
+	if cfg.Sets > 40 {
+		cfg.Sets = 40
+	}
+	return cfg
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cfg := Defaults()
+	cfg.Buys = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero buys accepted")
+	}
+	cfg = Defaults()
+	cfg.Sets = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative sets accepted")
+	}
+}
+
+func TestRunCompletesAndAccounts(t *testing.T) {
+	res, err := Run(fast(GethUnmodified(10, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BuysSubmitted != 40 || res.SetsSubmitted != 11 { // 10 + opening set
+		t.Errorf("submitted: %d buys, %d sets", res.BuysSubmitted, res.SetsSubmitted)
+	}
+	if res.BuysIncluded != res.BuysSubmitted {
+		t.Errorf("buys included %d != submitted %d (drain incomplete)",
+			res.BuysIncluded, res.BuysSubmitted)
+	}
+	if res.SetsIncluded != res.SetsSubmitted {
+		t.Error("sets not fully included")
+	}
+	if res.Blocks == 0 || res.DurationS <= 0 {
+		t.Error("no blocks mined")
+	}
+	if res.RawTps() <= 0 || res.StateTps() < 0 {
+		t.Error("throughput not computed")
+	}
+	if res.StateTps() > res.RawTps() {
+		t.Error("state throughput exceeds raw throughput")
+	}
+}
+
+func TestAllSetsSucceed(t *testing.T) {
+	// §V-A: sets are sent by the owner in nonce order and never depend on
+	// a remote view, so every one succeeds in every scenario.
+	for _, mk := range []func(int, int64) ScenarioConfig{GethUnmodified, SerethClient, SemanticMining} {
+		res, err := Run(fast(mk(20, 3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SetEfficiency() != 1.0 {
+			t.Errorf("%s: set efficiency %.3f != 1", res.Config.Name, res.SetEfficiency())
+		}
+	}
+}
+
+func TestSequentialHistoryEtaIsOne(t *testing.T) {
+	// The paper's §V sanity check: single sender => zero failures.
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := SequentialHistory(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Efficiency() != 1.0 {
+			t.Errorf("seed %d: η = %.3f, want exactly 1.0", seed, res.Efficiency())
+		}
+		if res.SetEfficiency() != 1.0 {
+			t.Errorf("seed %d: set η = %.3f", seed, res.SetEfficiency())
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a, err := Run(fast(SerethClient(10, 77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fast(SerethClient(10, 77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BuysSucceeded != b.BuysSucceeded || a.Blocks != b.Blocks {
+		t.Error("same seed, different outcome")
+	}
+}
+
+// TestFigure2Ordering is the headline assertion: over a small sweep the
+// three lines must order semantic > sereth > geth, with sereth a clear
+// multiple of geth (the paper's 5x claim) and semantic in the 70-100%
+// band.
+func TestFigure2Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	seeds := DefaultSeeds(4)
+	mean := func(mk func(int, int64) ScenarioConfig, sets int) float64 {
+		var sum float64
+		for _, seed := range seeds {
+			res, err := Run(mk(sets, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Efficiency()
+		}
+		return sum / float64(len(seeds))
+	}
+	for _, sets := range []int{50, 10} {
+		geth := mean(GethUnmodified, sets)
+		sereth := mean(SerethClient, sets)
+		semantic := mean(SemanticMining, sets)
+		t.Logf("sets=%d geth=%.3f sereth=%.3f semantic=%.3f", sets, geth, sereth, semantic)
+		if !(semantic > sereth && sereth > geth) {
+			t.Errorf("sets=%d: ordering broken: %.3f / %.3f / %.3f", sets, geth, sereth, semantic)
+		}
+		if sereth < 2*geth {
+			t.Errorf("sets=%d: sereth (%.3f) not a clear multiple of geth (%.3f)", sets, sereth, geth)
+		}
+		if semantic < 0.6 {
+			t.Errorf("sets=%d: semantic mining η %.3f below the paper's band", sets, semantic)
+		}
+	}
+}
+
+func TestRunFigure2SmokeAndFormat(t *testing.T) {
+	points, err := RunFigure2([]int{10}, []int64{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	table := FormatSweep(points)
+	for _, want := range []string{"geth_unmodified", "sereth_client", "semantic_mining", "eta_mean"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestParticipationMonotoneEnds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	points, err := RunParticipation([]float64{0, 1}, DefaultSeeds(3), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatal("wrong point count")
+	}
+	if points[1].Eta.Mean <= points[0].Eta.Mean {
+		t.Errorf("full participation (%.3f) not better than none (%.3f)",
+			points[1].Eta.Mean, points[0].Eta.Mean)
+	}
+}
+
+func TestGossipDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	points, err := RunGossip([]uint64{100, 8000}, DefaultSeeds(3), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavily impeded TxPool propagation must not improve efficiency.
+	if points[1].Eta.Mean > points[0].Eta.Mean+0.05 {
+		t.Errorf("8s gossip (%.3f) beat 100ms gossip (%.3f)",
+			points[1].Eta.Mean, points[0].Eta.Mean)
+	}
+}
+
+func TestExtendHeadsRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	points, err := RunExtendHeads(DefaultSeeds(3), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ext := points[0], points[1]
+	if base.Extended || !ext.Extended {
+		t.Fatal("point order wrong")
+	}
+	if ext.Eta.Mean < base.Eta.Mean-0.05 {
+		t.Errorf("extension (%.3f) notably worse than baseline (%.3f)",
+			ext.Eta.Mean, base.Eta.Mean)
+	}
+}
+
+func TestFixedCadenceStillWorks(t *testing.T) {
+	cfg := fast(SemanticMining(10, 5))
+	cfg.PoissonBlocks = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BuysIncluded != res.BuysSubmitted {
+		t.Error("fixed cadence failed to drain")
+	}
+}
+
+func TestDropRateRunStillCompletes(t *testing.T) {
+	cfg := fast(SerethClient(10, 9))
+	cfg.DropRate = 0.2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With dropped gossip some txs may never reach the miners, but the
+	// run must terminate and account consistently.
+	if res.BuysIncluded > res.BuysSubmitted {
+		t.Error("included more than submitted")
+	}
+}
+
+func TestDefaultSeeds(t *testing.T) {
+	seeds := DefaultSeeds(3)
+	if len(seeds) != 3 || seeds[0] == seeds[1] {
+		t.Error("bad seeds")
+	}
+}
+
+func TestClientModesWired(t *testing.T) {
+	if GethUnmodified(5, 1).ClientMode != node.ModeGeth {
+		t.Error("geth scenario mode")
+	}
+	if SerethClient(5, 1).ClientMode != node.ModeSereth {
+		t.Error("sereth scenario mode")
+	}
+	cfg := SemanticMining(5, 1)
+	if cfg.ClientMode != node.ModeSereth || cfg.SemanticFraction != 1 {
+		t.Error("semantic scenario config")
+	}
+}

@@ -1,0 +1,242 @@
+// Package statedb implements the mutable world state backing the EVM:
+// accounts with nonce/balance/code and per-contract storage words. All
+// mutations are journaled so a failing transaction can be rolled back in
+// place (the blockchain failure semantics of the paper: the transaction
+// stays in the block but has no effect on state). Root computes the
+// Merkle commitment over the full state via the secure trie.
+package statedb
+
+import (
+	"sereth/internal/rlp"
+	"sereth/internal/trie"
+	"sereth/internal/types"
+)
+
+// StateDB is an in-memory journaled world state. Not safe for concurrent
+// use; each consumer (miner, validator) works on its own Copy.
+type StateDB struct {
+	accounts map[types.Address]*account
+	journal  []journalEntry
+}
+
+type account struct {
+	nonce   uint64
+	balance uint64
+	code    []byte
+	storage map[types.Word]types.Word
+	deleted bool
+}
+
+// journalEntry undoes one mutation.
+type journalEntry func(s *StateDB)
+
+// New returns an empty state.
+func New() *StateDB {
+	return &StateDB{accounts: make(map[types.Address]*account)}
+}
+
+func (s *StateDB) getOrCreate(addr types.Address) *account {
+	if acc, ok := s.accounts[addr]; ok && !acc.deleted {
+		return acc
+	}
+	acc := &account{storage: make(map[types.Word]types.Word)}
+	prev, existed := s.accounts[addr]
+	s.accounts[addr] = acc
+	s.journal = append(s.journal, func(st *StateDB) {
+		if existed {
+			st.accounts[addr] = prev
+		} else {
+			delete(st.accounts, addr)
+		}
+	})
+	return acc
+}
+
+func (s *StateDB) get(addr types.Address) (*account, bool) {
+	acc, ok := s.accounts[addr]
+	if !ok || acc.deleted {
+		return nil, false
+	}
+	return acc, true
+}
+
+// Exists reports whether the account is present.
+func (s *StateDB) Exists(addr types.Address) bool {
+	_, ok := s.get(addr)
+	return ok
+}
+
+// GetNonce returns the account nonce (0 for absent accounts).
+func (s *StateDB) GetNonce(addr types.Address) uint64 {
+	if acc, ok := s.get(addr); ok {
+		return acc.nonce
+	}
+	return 0
+}
+
+// SetNonce sets the account nonce.
+func (s *StateDB) SetNonce(addr types.Address, nonce uint64) {
+	acc := s.getOrCreate(addr)
+	prev := acc.nonce
+	acc.nonce = nonce
+	s.journal = append(s.journal, func(st *StateDB) { acc.nonce = prev })
+}
+
+// GetBalance returns the account balance (0 for absent accounts).
+func (s *StateDB) GetBalance(addr types.Address) uint64 {
+	if acc, ok := s.get(addr); ok {
+		return acc.balance
+	}
+	return 0
+}
+
+// AddBalance credits the account.
+func (s *StateDB) AddBalance(addr types.Address, amount uint64) {
+	acc := s.getOrCreate(addr)
+	prev := acc.balance
+	acc.balance = prev + amount
+	s.journal = append(s.journal, func(st *StateDB) { acc.balance = prev })
+}
+
+// SubBalance debits the account. It reports false (and does nothing) when
+// funds are insufficient.
+func (s *StateDB) SubBalance(addr types.Address, amount uint64) bool {
+	acc := s.getOrCreate(addr)
+	if acc.balance < amount {
+		return false
+	}
+	prev := acc.balance
+	acc.balance = prev - amount
+	s.journal = append(s.journal, func(st *StateDB) { acc.balance = prev })
+	return true
+}
+
+// GetCode returns the contract code (nil for absent or code-less accounts).
+func (s *StateDB) GetCode(addr types.Address) []byte {
+	if acc, ok := s.get(addr); ok {
+		return acc.code
+	}
+	return nil
+}
+
+// SetCode installs contract code.
+func (s *StateDB) SetCode(addr types.Address, code []byte) {
+	acc := s.getOrCreate(addr)
+	prev := acc.code
+	acc.code = append([]byte{}, code...)
+	s.journal = append(s.journal, func(st *StateDB) { acc.code = prev })
+}
+
+// GetState reads a storage word (zero word when unset).
+func (s *StateDB) GetState(addr types.Address, key types.Word) types.Word {
+	if acc, ok := s.get(addr); ok {
+		return acc.storage[key]
+	}
+	return types.ZeroWord
+}
+
+// SetState writes a storage word. Writing the zero word clears the slot.
+func (s *StateDB) SetState(addr types.Address, key, value types.Word) {
+	acc := s.getOrCreate(addr)
+	prev, existed := acc.storage[key]
+	if value.IsZero() {
+		delete(acc.storage, key)
+	} else {
+		acc.storage[key] = value
+	}
+	s.journal = append(s.journal, func(st *StateDB) {
+		if existed {
+			acc.storage[key] = prev
+		} else {
+			delete(acc.storage, key)
+		}
+	})
+}
+
+// Snapshot returns an identifier for the current journal position.
+func (s *StateDB) Snapshot() int { return len(s.journal) }
+
+// RevertToSnapshot undoes every mutation made after the snapshot was
+// taken.
+func (s *StateDB) RevertToSnapshot(id int) {
+	if id < 0 || id > len(s.journal) {
+		return
+	}
+	for i := len(s.journal) - 1; i >= id; i-- {
+		s.journal[i](s)
+	}
+	s.journal = s.journal[:id]
+}
+
+// DiscardJournal forgets undo history (e.g. after a block commits).
+func (s *StateDB) DiscardJournal() { s.journal = nil }
+
+// Copy returns a deep copy with an empty journal.
+func (s *StateDB) Copy() *StateDB {
+	cp := New()
+	for addr, acc := range s.accounts {
+		if acc.deleted {
+			continue
+		}
+		nacc := &account{
+			nonce:   acc.nonce,
+			balance: acc.balance,
+			code:    append([]byte{}, acc.code...),
+			storage: make(map[types.Word]types.Word, len(acc.storage)),
+		}
+		for k, v := range acc.storage {
+			nacc.storage[k] = v
+		}
+		cp.accounts[addr] = nacc
+	}
+	return cp
+}
+
+// Root computes the Merkle commitment over the entire state: a secure
+// trie of RLP-encoded accounts, each committing to its own storage trie
+// root and code hash.
+func (s *StateDB) Root() types.Hash {
+	st := trie.NewSecure()
+	for addr, acc := range s.accounts {
+		if acc.deleted {
+			continue
+		}
+		st.Update(addr[:], encodeAccount(acc))
+	}
+	return st.RootHash()
+}
+
+func encodeAccount(acc *account) []byte {
+	storageTrie := trie.NewSecure()
+	for k, v := range acc.storage {
+		storageTrie.Update(k[:], rlp.Encode(rlp.String(minimalBytes(v))))
+	}
+	storageRoot := storageTrie.RootHash()
+	codeHash := types.Keccak(acc.code)
+	return rlp.Encode(rlp.List(
+		rlp.Uint(acc.nonce),
+		rlp.Uint(acc.balance),
+		rlp.String(storageRoot[:]),
+		rlp.String(codeHash[:]),
+	))
+}
+
+// minimalBytes strips leading zeroes (canonical storage value encoding).
+func minimalBytes(w types.Word) []byte {
+	i := 0
+	for i < len(w) && w[i] == 0 {
+		i++
+	}
+	return w[i:]
+}
+
+// Accounts returns the addresses present in the state (testing aid).
+func (s *StateDB) Accounts() []types.Address {
+	out := make([]types.Address, 0, len(s.accounts))
+	for addr, acc := range s.accounts {
+		if !acc.deleted {
+			out = append(out, addr)
+		}
+	}
+	return out
+}

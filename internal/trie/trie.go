@@ -1,0 +1,399 @@
+// Package trie implements the hexary Merkle Patricia Trie used by
+// Ethereum for state commitments. Nodes are RLP-encoded and referenced by
+// Keccak-256 hash (nodes shorter than 32 bytes are embedded in their
+// parent, per the specification), so identical contents always produce
+// identical roots regardless of insertion order.
+package trie
+
+import (
+	"bytes"
+	"sort"
+
+	"sereth/internal/keccak"
+	"sereth/internal/rlp"
+	"sereth/internal/types"
+)
+
+// EmptyRoot is the root hash of an empty trie: Keccak256(RLP("")).
+var EmptyRoot = types.Keccak(rlp.Encode(rlp.String(nil)))
+
+// Trie is an in-memory Merkle Patricia Trie. The zero value is not usable;
+// call New.
+type Trie struct {
+	root node
+}
+
+// node is one of: *shortNode (leaf/extension), *fullNode (branch),
+// valueNode (stored value). nil means the empty subtrie.
+type node interface{}
+
+type shortNode struct {
+	key []byte // nibbles
+	val node   // valueNode for a leaf, otherwise child node
+}
+
+type fullNode struct {
+	children [17]node // 16 nibble branches + value slot
+}
+
+type valueNode []byte
+
+// New returns an empty trie.
+func New() *Trie { return &Trie{} }
+
+// Get returns the value stored under key, or nil if absent.
+func (t *Trie) Get(key []byte) []byte {
+	n := t.root
+	k := keyToNibbles(key)
+	for {
+		switch cur := n.(type) {
+		case nil:
+			return nil
+		case valueNode:
+			return cur
+		case *shortNode:
+			if len(k) < len(cur.key) || !bytes.Equal(k[:len(cur.key)], cur.key) {
+				return nil
+			}
+			k = k[len(cur.key):]
+			n = cur.val
+		case *fullNode:
+			if len(k) == 0 {
+				if v, ok := cur.children[16].(valueNode); ok {
+					return v
+				}
+				return nil
+			}
+			n = cur.children[k[0]]
+			k = k[1:]
+		default:
+			return nil
+		}
+	}
+}
+
+// Update stores value under key. An empty or nil value deletes the key.
+func (t *Trie) Update(key, value []byte) {
+	k := keyToNibbles(key)
+	if len(value) == 0 {
+		t.root = deleteNode(t.root, k)
+		return
+	}
+	v := make(valueNode, len(value))
+	copy(v, value)
+	t.root = insert(t.root, k, v)
+}
+
+// Delete removes key from the trie.
+func (t *Trie) Delete(key []byte) { t.root = deleteNode(t.root, keyToNibbles(key)) }
+
+func insert(n node, k []byte, v valueNode) node {
+	if len(k) == 0 {
+		switch cur := n.(type) {
+		case *fullNode:
+			cp := *cur
+			cp.children[16] = v
+			return &cp
+		case *shortNode:
+			// The new value terminates above an existing subtree: make a
+			// branch holding the value and push the short node down one
+			// nibble.
+			branch := &fullNode{}
+			branch.children[16] = v
+			if len(cur.key) == 1 {
+				branch.children[cur.key[0]] = cur.val
+			} else {
+				branch.children[cur.key[0]] = &shortNode{key: cur.key[1:], val: cur.val}
+			}
+			return branch
+		default: // nil or valueNode: create/overwrite
+			return v
+		}
+	}
+	switch cur := n.(type) {
+	case nil:
+		return &shortNode{key: k, val: v}
+	case valueNode:
+		// Existing value at this exact prefix: push it into a branch.
+		branch := &fullNode{}
+		branch.children[16] = cur
+		branch.children[k[0]] = insert(nil, k[1:], v)
+		return branch
+	case *shortNode:
+		match := commonPrefix(k, cur.key)
+		if match == len(cur.key) {
+			cp := *cur
+			cp.val = insert(cur.val, k[match:], v)
+			return &cp
+		}
+		// Split: branch at the divergence point.
+		branch := &fullNode{}
+		// Existing child goes under its next nibble.
+		existingKey := cur.key[match:]
+		if len(existingKey) == 1 {
+			branch.children[existingKey[0]] = cur.val
+		} else {
+			branch.children[existingKey[0]] = &shortNode{key: existingKey[1:], val: cur.val}
+		}
+		// New value goes under its next nibble (or the value slot).
+		newKey := k[match:]
+		if len(newKey) == 0 {
+			branch.children[16] = v
+		} else {
+			branch.children[newKey[0]] = insert(nil, newKey[1:], v)
+		}
+		if match == 0 {
+			return branch
+		}
+		return &shortNode{key: k[:match], val: branch}
+	case *fullNode:
+		cp := *cur
+		cp.children[k[0]] = insert(cur.children[k[0]], k[1:], v)
+		return &cp
+	default:
+		return n
+	}
+}
+
+func deleteNode(n node, k []byte) node {
+	switch cur := n.(type) {
+	case nil:
+		return nil
+	case valueNode:
+		if len(k) == 0 {
+			return nil
+		}
+		return cur
+	case *shortNode:
+		if len(k) < len(cur.key) || !bytes.Equal(k[:len(cur.key)], cur.key) {
+			return cur
+		}
+		child := deleteNode(cur.val, k[len(cur.key):])
+		if child == nil {
+			return nil
+		}
+		// Merge chains of short nodes back together.
+		if sn, ok := child.(*shortNode); ok {
+			merged := append(append([]byte{}, cur.key...), sn.key...)
+			return &shortNode{key: merged, val: sn.val}
+		}
+		cp := *cur
+		cp.val = child
+		return &cp
+	case *fullNode:
+		cp := *cur
+		if len(k) == 0 {
+			cp.children[16] = nil
+		} else {
+			cp.children[k[0]] = deleteNode(cur.children[k[0]], k[1:])
+		}
+		return collapse(&cp)
+	default:
+		return n
+	}
+}
+
+// collapse reduces a branch with fewer than two live slots back into a
+// short node (or nil), keeping the trie canonical so roots stay unique.
+func collapse(branch *fullNode) node {
+	live := -1
+	count := 0
+	for i, c := range branch.children {
+		if c != nil {
+			live = i
+			count++
+		}
+	}
+	switch count {
+	case 0:
+		return nil
+	case 1:
+		if live == 16 {
+			return branch.children[16]
+		}
+		child := branch.children[live]
+		if sn, ok := child.(*shortNode); ok {
+			merged := append([]byte{byte(live)}, sn.key...)
+			return &shortNode{key: merged, val: sn.val}
+		}
+		return &shortNode{key: []byte{byte(live)}, val: child}
+	default:
+		return branch
+	}
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// RootHash computes the Merkle root of the current trie contents.
+func (t *Trie) RootHash() types.Hash {
+	if t.root == nil {
+		return EmptyRoot
+	}
+	item := encodeNode(t.root, true)
+	return types.Keccak(rlp.Encode(item))
+}
+
+// encodeNode converts a node to its RLP item. Per the MPT spec, a child
+// whose encoding is >= 32 bytes is replaced by its Keccak hash; smaller
+// encodings are embedded. force marks the root, which is always hashed by
+// the caller.
+func encodeNode(n node, isRoot bool) rlp.Item {
+	switch cur := n.(type) {
+	case nil:
+		return rlp.String(nil)
+	case valueNode:
+		return rlp.String(cur)
+	case *shortNode:
+		_, isLeaf := cur.val.(valueNode)
+		encodedKey := hexPrefixEncode(cur.key, isLeaf)
+		var valItem rlp.Item
+		if isLeaf {
+			valItem = rlp.String(cur.val.(valueNode))
+		} else {
+			valItem = childRef(cur.val)
+		}
+		return rlp.List(rlp.String(encodedKey), valItem)
+	case *fullNode:
+		items := make([]rlp.Item, 17)
+		for i := 0; i < 16; i++ {
+			if cur.children[i] == nil {
+				items[i] = rlp.String(nil)
+			} else {
+				items[i] = childRef(cur.children[i])
+			}
+		}
+		if v, ok := cur.children[16].(valueNode); ok {
+			items[16] = rlp.String(v)
+		} else {
+			items[16] = rlp.String(nil)
+		}
+		return rlp.List(items...)
+	default:
+		return rlp.String(nil)
+	}
+}
+
+func childRef(n node) rlp.Item {
+	item := encodeNode(n, false)
+	enc := rlp.Encode(item)
+	if len(enc) < 32 {
+		return item
+	}
+	h := keccak.Sum256(enc)
+	return rlp.String(h[:])
+}
+
+// hexPrefixEncode packs a nibble key with the leaf/extension flag per the
+// hex-prefix encoding of the Yellow Paper (Appendix C).
+func hexPrefixEncode(nibbles []byte, isLeaf bool) []byte {
+	var flag byte
+	if isLeaf {
+		flag = 2
+	}
+	odd := len(nibbles) % 2
+	out := make([]byte, 0, len(nibbles)/2+1)
+	if odd == 1 {
+		out = append(out, (flag+1)<<4|nibbles[0])
+		nibbles = nibbles[1:]
+	} else {
+		out = append(out, flag<<4)
+	}
+	for i := 0; i < len(nibbles); i += 2 {
+		out = append(out, nibbles[i]<<4|nibbles[i+1])
+	}
+	return out
+}
+
+func keyToNibbles(key []byte) []byte {
+	out := make([]byte, len(key)*2)
+	for i, b := range key {
+		out[i*2] = b >> 4
+		out[i*2+1] = b & 0x0f
+	}
+	return out
+}
+
+// Keys returns all keys in the trie in sorted order (testing/debug aid).
+func (t *Trie) Keys() [][]byte {
+	var keys [][]byte
+	walk(t.root, nil, func(nibbles []byte, _ []byte) {
+		keys = append(keys, nibblesToKey(nibbles))
+	})
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	return keys
+}
+
+// Len returns the number of stored key/value pairs.
+func (t *Trie) Len() int {
+	n := 0
+	walk(t.root, nil, func([]byte, []byte) { n++ })
+	return n
+}
+
+func walk(n node, prefix []byte, visit func(nibbles, value []byte)) {
+	switch cur := n.(type) {
+	case nil:
+	case valueNode:
+		visit(prefix, cur)
+	case *shortNode:
+		walk(cur.val, append(append([]byte{}, prefix...), cur.key...), visit)
+	case *fullNode:
+		for i := 0; i < 16; i++ {
+			if cur.children[i] != nil {
+				walk(cur.children[i], append(append([]byte{}, prefix...), byte(i)), visit)
+			}
+		}
+		if cur.children[16] != nil {
+			visit(prefix, cur.children[16].(valueNode))
+		}
+	}
+}
+
+func nibblesToKey(nibbles []byte) []byte {
+	out := make([]byte, len(nibbles)/2)
+	for i := 0; i < len(out); i++ {
+		out[i] = nibbles[i*2]<<4 | nibbles[i*2+1]
+	}
+	return out
+}
+
+// SecureTrie wraps a Trie, hashing keys with Keccak-256 before use so key
+// material cannot unbalance the tree (Ethereum's "secure trie").
+type SecureTrie struct {
+	inner *Trie
+}
+
+// NewSecure returns an empty secure trie.
+func NewSecure() *SecureTrie { return &SecureTrie{inner: New()} }
+
+// Get returns the value stored under key.
+func (s *SecureTrie) Get(key []byte) []byte {
+	h := keccak.Sum256(key)
+	return s.inner.Get(h[:])
+}
+
+// Update stores value under key; empty value deletes.
+func (s *SecureTrie) Update(key, value []byte) {
+	h := keccak.Sum256(key)
+	s.inner.Update(h[:], value)
+}
+
+// Delete removes key.
+func (s *SecureTrie) Delete(key []byte) {
+	h := keccak.Sum256(key)
+	s.inner.Delete(h[:])
+}
+
+// RootHash returns the Merkle root.
+func (s *SecureTrie) RootHash() types.Hash { return s.inner.RootHash() }

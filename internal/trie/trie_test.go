@@ -1,0 +1,274 @@
+package trie
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRootMatchesEthereum(t *testing.T) {
+	// The canonical empty-trie root from the Yellow Paper.
+	want := "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421"
+	if got := hex.EncodeToString(EmptyRoot[:]); got != want {
+		t.Errorf("empty root = %s, want %s", got, want)
+	}
+	if New().RootHash() != EmptyRoot {
+		t.Error("fresh trie root != EmptyRoot")
+	}
+}
+
+// Known-answer vectors cross-checked against go-ethereum's trie.
+func TestKnownRoots(t *testing.T) {
+	tests := []struct {
+		name string
+		kv   [][2]string
+		want string
+	}{
+		{
+			"single",
+			[][2]string{{"do", "verb"}},
+			"014f07ed95e2e028804d915e0dbd4ed451e394e1acfd29e463c11a060b2ddef7",
+		},
+		{
+			"two",
+			[][2]string{{"do", "verb"}, {"dog", "puppy"}},
+			"779db3986dd4f38416bfde49750ef7b13c6ecb3e2221620bcad9267e94604d36",
+		},
+		{
+			"four",
+			[][2]string{{"do", "verb"}, {"dog", "puppy"}, {"doge", "coin"}, {"horse", "stallion"}},
+			"5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := New()
+			for _, kv := range tt.kv {
+				tr.Update([]byte(kv[0]), []byte(kv[1]))
+			}
+			if got := hex.EncodeToString(tr.RootHash().Bytes()); got != tt.want {
+				t.Errorf("root = %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInsertionOrderIndependence(t *testing.T) {
+	kvs := map[string]string{
+		"do": "verb", "dog": "puppy", "doge": "coin", "horse": "stallion",
+		"dodge": "car", "": "emptykey", "d": "single",
+	}
+	var keys []string
+	for k := range kvs {
+		keys = append(keys, k)
+	}
+	baseline := New()
+	for _, k := range keys {
+		baseline.Update([]byte(k), []byte(kvs[k]))
+	}
+	want := baseline.RootHash()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		tr := New()
+		for _, k := range keys {
+			tr.Update([]byte(k), []byte(kvs[k]))
+		}
+		if tr.RootHash() != want {
+			t.Fatalf("trial %d: root differs under insertion order %v", trial, keys)
+		}
+	}
+}
+
+func TestGetUpdateDelete(t *testing.T) {
+	tr := New()
+	if got := tr.Get([]byte("missing")); got != nil {
+		t.Error("missing key returned value")
+	}
+	tr.Update([]byte("a"), []byte("1"))
+	tr.Update([]byte("ab"), []byte("2"))
+	tr.Update([]byte("abc"), []byte("3"))
+	if string(tr.Get([]byte("ab"))) != "2" {
+		t.Error("get ab failed")
+	}
+	tr.Update([]byte("ab"), []byte("2x"))
+	if string(tr.Get([]byte("ab"))) != "2x" {
+		t.Error("overwrite failed")
+	}
+	tr.Delete([]byte("ab"))
+	if tr.Get([]byte("ab")) != nil {
+		t.Error("delete failed")
+	}
+	if string(tr.Get([]byte("a"))) != "1" || string(tr.Get([]byte("abc"))) != "3" {
+		t.Error("siblings damaged by delete")
+	}
+}
+
+func TestDeleteRestoresPriorRoot(t *testing.T) {
+	// Inserting then deleting a key must return exactly the prior root
+	// (canonical representation after branch collapse).
+	tr := New()
+	tr.Update([]byte("do"), []byte("verb"))
+	tr.Update([]byte("dog"), []byte("puppy"))
+	before := tr.RootHash()
+	tr.Update([]byte("doge"), []byte("coin"))
+	tr.Delete([]byte("doge"))
+	if tr.RootHash() != before {
+		t.Error("root not restored after insert+delete")
+	}
+	// Delete everything: back to the empty root.
+	tr.Delete([]byte("do"))
+	tr.Delete([]byte("dog"))
+	if tr.RootHash() != EmptyRoot {
+		t.Error("root not empty after deleting all keys")
+	}
+}
+
+func TestEmptyValueDeletes(t *testing.T) {
+	tr := New()
+	tr.Update([]byte("k"), []byte("v"))
+	tr.Update([]byte("k"), nil)
+	if tr.RootHash() != EmptyRoot {
+		t.Error("empty value did not delete")
+	}
+}
+
+func TestValueAtBranchSlot(t *testing.T) {
+	// "a" is a strict prefix of "ab": value lands in a branch value slot.
+	tr := New()
+	tr.Update([]byte("ab"), []byte("child"))
+	tr.Update([]byte("a"), []byte("parent"))
+	if string(tr.Get([]byte("a"))) != "parent" || string(tr.Get([]byte("ab"))) != "child" {
+		t.Error("prefix keys conflict")
+	}
+	tr.Delete([]byte("a"))
+	if tr.Get([]byte("a")) != nil || string(tr.Get([]byte("ab"))) != "child" {
+		t.Error("branch value delete broken")
+	}
+}
+
+func TestKeysAndLen(t *testing.T) {
+	tr := New()
+	keys := []string{"alpha", "beta", "gamma", "al", "be"}
+	for _, k := range keys {
+		tr.Update([]byte(k), []byte("v"))
+	}
+	if tr.Len() != len(keys) {
+		t.Errorf("Len = %d want %d", tr.Len(), len(keys))
+	}
+	got := tr.Keys()
+	if len(got) != len(keys) {
+		t.Fatalf("Keys returned %d entries", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Error("Keys not sorted")
+		}
+	}
+}
+
+func TestSecureTrie(t *testing.T) {
+	s := NewSecure()
+	s.Update([]byte("key"), []byte("value"))
+	if string(s.Get([]byte("key"))) != "value" {
+		t.Error("secure get failed")
+	}
+	if s.Get([]byte("other")) != nil {
+		t.Error("secure miss returned value")
+	}
+	root1 := s.RootHash()
+	s.Delete([]byte("key"))
+	if s.RootHash() != EmptyRoot {
+		t.Error("secure delete failed")
+	}
+	// Same content gives same root.
+	s2 := NewSecure()
+	s2.Update([]byte("key"), []byte("value"))
+	if s2.RootHash() != root1 {
+		t.Error("secure roots not deterministic")
+	}
+}
+
+// Reference-model property test: the trie must agree with a plain map and
+// roots must be history-independent.
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Key    uint16
+		Value  uint16
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		tr := New()
+		model := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%04x", o.Key%512)
+			if o.Delete {
+				tr.Delete([]byte(k))
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%04x", o.Value)
+				tr.Update([]byte(k), []byte(v))
+				model[k] = v
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if string(tr.Get([]byte(k))) != v {
+				return false
+			}
+		}
+		// Rebuild from the final model: root must match (history
+		// independence).
+		rebuilt := New()
+		for k, v := range model {
+			rebuilt.Update([]byte(k), []byte(v))
+		}
+		return rebuilt.RootHash() == tr.RootHash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistinctContentsDistinctRoots(t *testing.T) {
+	f := func(a, b uint32) bool {
+		t1 := New()
+		t1.Update([]byte(fmt.Sprint(a)), []byte("x"))
+		t2 := New()
+		t2.Update([]byte(fmt.Sprint(b)), []byte("x"))
+		if a == b {
+			return t1.RootHash() == t2.RootHash()
+		}
+		return t1.RootHash() != t2.RootHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert1k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := New()
+		for j := 0; j < 1000; j++ {
+			tr.Update([]byte(fmt.Sprintf("key-%d", j)), []byte("value"))
+		}
+	}
+}
+
+func BenchmarkRootHash1k(b *testing.B) {
+	tr := New()
+	for j := 0; j < 1000; j++ {
+		tr.Update([]byte(fmt.Sprintf("key-%d", j)), []byte("value"))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.RootHash()
+	}
+}

@@ -1,0 +1,237 @@
+// Package txpool implements the pending transaction pool (the paper's
+// TxPool): the shared, unordered set of transactions waiting to be mined.
+// The pool preserves real-time arrival order (the concurrent history of
+// §II-B), enforces per-sender nonce uniqueness with price-bump
+// replacement, and notifies subscribers as transactions arrive — the
+// communication channel Hash-Mark-Set is built on (§III-C).
+package txpool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sereth/internal/types"
+)
+
+// Pool errors.
+var (
+	ErrAlreadyKnown = errors.New("txpool: transaction already known")
+	ErrUnderpriced  = errors.New("txpool: replacement transaction underpriced")
+	ErrPoolFull     = errors.New("txpool: pool is full")
+	ErrRejected     = errors.New("txpool: transaction rejected by validator")
+)
+
+// Validator pre-screens incoming transactions (signature checks etc.).
+type Validator func(*types.Transaction) error
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithValidator installs a transaction validator.
+func WithValidator(v Validator) Option {
+	return func(p *Pool) { p.validate = v }
+}
+
+// WithCapacity bounds the number of pending transactions.
+func WithCapacity(n int) Option {
+	return func(p *Pool) { p.capacity = n }
+}
+
+// Pool is a concurrency-safe pending transaction pool.
+type Pool struct {
+	mu       sync.RWMutex
+	all      map[types.Hash]*types.Transaction
+	arrival  []types.Hash // real-time order of admission
+	bySender map[types.Address]map[uint64]types.Hash
+	validate Validator
+	capacity int
+	subs     []func(*types.Transaction)
+}
+
+// New returns an empty pool.
+func New(opts ...Option) *Pool {
+	p := &Pool{
+		all:      make(map[types.Hash]*types.Transaction),
+		bySender: make(map[types.Address]map[uint64]types.Hash),
+		capacity: 65536,
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Subscribe registers fn to be called (outside the pool lock) for every
+// newly admitted transaction. Subscribers must be registered before
+// concurrent Adds begin.
+func (p *Pool) Subscribe(fn func(*types.Transaction)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subs = append(p.subs, fn)
+}
+
+// Add admits a transaction. Same-sender same-nonce transactions replace
+// the resident one only at a strictly higher gas price.
+func (p *Pool) Add(tx *types.Transaction) error {
+	if p.validate != nil {
+		if err := p.validate(tx); err != nil {
+			return fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+	}
+	tx = tx.Copy()
+	hash := tx.Hash()
+
+	p.mu.Lock()
+	if _, known := p.all[hash]; known {
+		p.mu.Unlock()
+		return ErrAlreadyKnown
+	}
+	if len(p.all) >= p.capacity {
+		p.mu.Unlock()
+		return ErrPoolFull
+	}
+	nonces, ok := p.bySender[tx.From]
+	if !ok {
+		nonces = make(map[uint64]types.Hash)
+		p.bySender[tx.From] = nonces
+	}
+	if prevHash, dup := nonces[tx.Nonce]; dup {
+		prev := p.all[prevHash]
+		if tx.GasPrice <= prev.GasPrice {
+			p.mu.Unlock()
+			return ErrUnderpriced
+		}
+		p.removeLocked(prevHash)
+	}
+	p.all[hash] = tx
+	p.arrival = append(p.arrival, hash)
+	nonces[tx.Nonce] = hash
+	subs := p.subs
+	p.mu.Unlock()
+
+	for _, fn := range subs {
+		fn(tx.Copy())
+	}
+	return nil
+}
+
+// Get returns the transaction with the given hash, or nil.
+func (p *Pool) Get(hash types.Hash) *types.Transaction {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if tx, ok := p.all[hash]; ok {
+		return tx.Copy()
+	}
+	return nil
+}
+
+// Has reports whether the pool contains the hash.
+func (p *Pool) Has(hash types.Hash) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.all[hash]
+	return ok
+}
+
+// Len returns the number of pending transactions.
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.all)
+}
+
+// Pending returns the pending transactions in real-time arrival order.
+func (p *Pool) Pending() []*types.Transaction {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*types.Transaction, 0, len(p.all))
+	for _, h := range p.arrival {
+		if tx, ok := p.all[h]; ok {
+			out = append(out, tx.Copy())
+		}
+	}
+	return out
+}
+
+// BySender returns each sender's pending transactions sorted by nonce —
+// the view a miner works from (§II-C): it may reorder across senders but
+// must respect nonce order within one.
+func (p *Pool) BySender() map[types.Address][]*types.Transaction {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[types.Address][]*types.Transaction, len(p.bySender))
+	for sender, nonces := range p.bySender {
+		if len(nonces) == 0 {
+			continue
+		}
+		txs := make([]*types.Transaction, 0, len(nonces))
+		for _, h := range nonces {
+			txs = append(txs, p.all[h].Copy())
+		}
+		sort.Slice(txs, func(i, j int) bool { return txs[i].Nonce < txs[j].Nonce })
+		out[sender] = txs
+	}
+	return out
+}
+
+// Remove deletes the given transactions (e.g. after block inclusion).
+func (p *Pool) Remove(hashes []types.Hash) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, h := range hashes {
+		p.removeLocked(h)
+	}
+}
+
+// RemoveStale drops every transaction whose nonce is below the sender's
+// current account nonce (it can never be included).
+func (p *Pool) RemoveStale(nonceOf func(types.Address) uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for sender, nonces := range p.bySender {
+		floor := nonceOf(sender)
+		for nonce, h := range nonces {
+			if nonce < floor {
+				p.removeLocked(h)
+			}
+		}
+	}
+}
+
+// Clear empties the pool.
+func (p *Pool) Clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.all = make(map[types.Hash]*types.Transaction)
+	p.arrival = nil
+	p.bySender = make(map[types.Address]map[uint64]types.Hash)
+}
+
+func (p *Pool) removeLocked(h types.Hash) {
+	tx, ok := p.all[h]
+	if !ok {
+		return
+	}
+	delete(p.all, h)
+	if nonces, ok := p.bySender[tx.From]; ok {
+		if cur, ok := nonces[tx.Nonce]; ok && cur == h {
+			delete(nonces, tx.Nonce)
+		}
+		if len(nonces) == 0 {
+			delete(p.bySender, tx.From)
+		}
+	}
+	// arrival is compacted lazily by Pending(); drop dead hashes when the
+	// slice grows far past the live set.
+	if len(p.arrival) > 4*len(p.all)+64 {
+		live := p.arrival[:0]
+		for _, ah := range p.arrival {
+			if _, ok := p.all[ah]; ok {
+				live = append(live, ah)
+			}
+		}
+		p.arrival = live
+	}
+}

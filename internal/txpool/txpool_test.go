@@ -1,0 +1,306 @@
+package txpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sereth/internal/types"
+)
+
+func addr(b byte) types.Address {
+	var a types.Address
+	a[19] = b
+	return a
+}
+
+func tx(sender byte, nonce uint64, price uint64) *types.Transaction {
+	return &types.Transaction{
+		Nonce:    nonce,
+		From:     addr(sender),
+		To:       addr(0xcc),
+		GasPrice: price,
+		GasLimit: 100000,
+		Data:     []byte{sender, byte(nonce), byte(price)},
+	}
+}
+
+func TestAddAndGet(t *testing.T) {
+	p := New()
+	t1 := tx(1, 0, 10)
+	if err := p.Add(t1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || !p.Has(t1.Hash()) {
+		t.Error("tx not admitted")
+	}
+	got := p.Get(t1.Hash())
+	if got == nil || got.Hash() != t1.Hash() {
+		t.Error("Get mismatch")
+	}
+	if p.Get(types.Hash{1}) != nil {
+		t.Error("Get returned phantom")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	p := New()
+	t1 := tx(1, 0, 10)
+	if err := p.Add(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(t1); !errors.Is(err, ErrAlreadyKnown) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestNonceReplacement(t *testing.T) {
+	p := New()
+	low := tx(1, 0, 10)
+	if err := p.Add(low); err != nil {
+		t.Fatal(err)
+	}
+	// Same nonce, equal price, different payload: rejected as underpriced.
+	equal := tx(1, 0, 10)
+	equal.Data = append(equal.Data, 0xff)
+	if err := p.Add(equal); !errors.Is(err, ErrUnderpriced) {
+		t.Errorf("equal price replacement: %v", err)
+	}
+	// Higher price: replaces.
+	high := tx(1, 0, 20)
+	if err := p.Add(high); err != nil {
+		t.Fatal(err)
+	}
+	if p.Has(low.Hash()) {
+		t.Error("replaced tx still present")
+	}
+	if !p.Has(high.Hash()) || p.Len() != 1 {
+		t.Error("replacement not admitted")
+	}
+}
+
+func TestPendingPreservesArrivalOrder(t *testing.T) {
+	p := New()
+	var want []types.Hash
+	for i := 0; i < 10; i++ {
+		tr := tx(byte(i%3+1), uint64(i/3), uint64(100-i))
+		if err := p.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tr.Hash())
+	}
+	got := p.Pending()
+	if len(got) != len(want) {
+		t.Fatalf("pending len %d", len(got))
+	}
+	for i := range got {
+		if got[i].Hash() != want[i] {
+			t.Fatalf("arrival order broken at %d", i)
+		}
+	}
+}
+
+func TestBySenderNonceSorted(t *testing.T) {
+	p := New()
+	// Insert out of nonce order.
+	for _, nonce := range []uint64{2, 0, 1} {
+		if err := p.Add(tx(1, nonce, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Add(tx(2, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	grouped := p.BySender()
+	if len(grouped) != 2 {
+		t.Fatalf("senders = %d", len(grouped))
+	}
+	ones := grouped[addr(1)]
+	if len(ones) != 3 {
+		t.Fatalf("sender 1 txs = %d", len(ones))
+	}
+	for i, tr := range ones {
+		if tr.Nonce != uint64(i) {
+			t.Errorf("nonce order: pos %d has nonce %d", i, tr.Nonce)
+		}
+	}
+}
+
+func TestRemoveAndStale(t *testing.T) {
+	p := New()
+	t0, t1, t2 := tx(1, 0, 10), tx(1, 1, 10), tx(1, 2, 10)
+	for _, tr := range []*types.Transaction{t0, t1, t2} {
+		if err := p.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Remove([]types.Hash{t1.Hash()})
+	if p.Has(t1.Hash()) || p.Len() != 2 {
+		t.Error("Remove failed")
+	}
+	// Account nonce advanced to 2: t0 is stale, t2 still valid.
+	p.RemoveStale(func(a types.Address) uint64 { return 2 })
+	if p.Has(t0.Hash()) || !p.Has(t2.Hash()) {
+		t.Error("RemoveStale wrong")
+	}
+}
+
+func TestValidatorRejection(t *testing.T) {
+	sentinel := errors.New("bad signature")
+	p := New(WithValidator(func(tr *types.Transaction) error {
+		if tr.GasPrice == 0 {
+			return sentinel
+		}
+		return nil
+	}))
+	if err := p.Add(tx(1, 0, 0)); !errors.Is(err, ErrRejected) {
+		t.Errorf("validator bypass: %v", err)
+	}
+	if err := p.Add(tx(1, 0, 5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	p := New(WithCapacity(2))
+	if err := p.Add(tx(1, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx(1, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx(1, 2, 10)); !errors.Is(err, ErrPoolFull) {
+		t.Errorf("over capacity: %v", err)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	p := New()
+	var mu sync.Mutex
+	var seen []types.Hash
+	p.Subscribe(func(tr *types.Transaction) {
+		mu.Lock()
+		seen = append(seen, tr.Hash())
+		mu.Unlock()
+	})
+	t1 := tx(1, 0, 10)
+	if err := p.Add(t1); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 || seen[0] != t1.Hash() {
+		t.Error("subscriber not notified")
+	}
+}
+
+func TestIsolationFromCallerMutation(t *testing.T) {
+	p := New()
+	t1 := tx(1, 0, 10)
+	if err := p.Add(t1); err != nil {
+		t.Fatal(err)
+	}
+	t1.Data[0] = 0xff // caller mutates after Add
+	got := p.Get(t1.Hash())
+	if got != nil && got.Data[0] == 0xff {
+		t.Error("pool shares caller's slice")
+	}
+	// Pending copies too.
+	pend := p.Pending()
+	pend[0].Data[0] = 0xee
+	if p.Pending()[0].Data[0] == 0xee {
+		t.Error("Pending leaks internal state")
+	}
+}
+
+func TestClear(t *testing.T) {
+	p := New()
+	for i := 0; i < 5; i++ {
+		if err := p.Add(tx(1, uint64(i), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Clear()
+	if p.Len() != 0 || len(p.Pending()) != 0 {
+		t.Error("Clear incomplete")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for s := byte(1); s <= 8; s++ {
+		wg.Add(1)
+		go func(sender byte) {
+			defer wg.Done()
+			for n := uint64(0); n < 50; n++ {
+				_ = p.Add(tx(sender, n, 10))
+			}
+		}(s)
+	}
+	wg.Wait()
+	if p.Len() != 8*50 {
+		t.Errorf("len = %d want %d", p.Len(), 8*50)
+	}
+	// Per-sender views must be complete and nonce-ordered.
+	for sender, txs := range p.BySender() {
+		if len(txs) != 50 {
+			t.Errorf("sender %s has %d", sender.Hex(), len(txs))
+		}
+		for i := 1; i < len(txs); i++ {
+			if txs[i].Nonce <= txs[i-1].Nonce {
+				t.Error("nonce order violated")
+			}
+		}
+	}
+}
+
+func TestArrivalCompaction(t *testing.T) {
+	p := New()
+	var hashes []types.Hash
+	for i := 0; i < 600; i++ {
+		tr := tx(1, uint64(i), 10)
+		if err := p.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, tr.Hash())
+	}
+	p.Remove(hashes[:590])
+	if p.Len() != 10 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	pend := p.Pending()
+	if len(pend) != 10 {
+		t.Fatalf("pending = %d", len(pend))
+	}
+	for i, tr := range pend {
+		if tr.Hash() != hashes[590+i] {
+			t.Error("compaction broke arrival order")
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	p := New(WithCapacity(1 << 30))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Add(tx(byte(i%200), uint64(i), 10))
+	}
+}
+
+func BenchmarkPending1k(b *testing.B) {
+	p := New()
+	for i := 0; i < 1000; i++ {
+		if err := p.Add(tx(byte(i%100+1), uint64(i/100), uint64(10+i%5))); err != nil {
+			b.Fatal(fmt.Errorf("seed %d: %w", i, err))
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := p.Pending(); len(got) != 1000 {
+			b.Fatal("wrong pending size")
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"sereth/internal/rlp"
+)
+
+// Header is the block header. Roots commit to the state, transaction list
+// and receipt list; Difficulty and PowNonce support the optional
+// proof-of-work seal.
+type Header struct {
+	ParentHash  Hash
+	Number      uint64
+	StateRoot   Hash
+	TxRoot      Hash
+	ReceiptRoot Hash
+	Coinbase    Address
+	Difficulty  uint64
+	GasLimit    uint64
+	GasUsed     uint64
+	Time        uint64 // model-time seconds since genesis
+	PowNonce    uint64
+}
+
+// ErrBadBlockEncoding reports a malformed block serialization.
+var ErrBadBlockEncoding = errors.New("types: malformed block encoding")
+
+func (h *Header) toItem() rlp.Item {
+	return rlp.List(
+		rlp.String(h.ParentHash[:]),
+		rlp.Uint(h.Number),
+		rlp.String(h.StateRoot[:]),
+		rlp.String(h.TxRoot[:]),
+		rlp.String(h.ReceiptRoot[:]),
+		rlp.String(h.Coinbase[:]),
+		rlp.Uint(h.Difficulty),
+		rlp.Uint(h.GasLimit),
+		rlp.Uint(h.GasUsed),
+		rlp.Uint(h.Time),
+		rlp.Uint(h.PowNonce),
+	)
+}
+
+// EncodeRLP serializes the header.
+func (h *Header) EncodeRLP() []byte { return rlp.Encode(h.toItem()) }
+
+// Hash returns the block hash (Keccak-256 of the RLP header).
+func (h *Header) Hash() Hash { return Keccak(h.EncodeRLP()) }
+
+// SealHash returns the digest the PoW seal covers: the header hash with
+// the nonce zeroed, so searching nonces does not change the target.
+func (h *Header) SealHash() Hash {
+	cp := *h
+	cp.PowNonce = 0
+	return cp.Hash()
+}
+
+func headerFromItem(it rlp.Item) (*Header, error) {
+	fields, err := it.Items()
+	if err != nil || len(fields) != 11 {
+		return nil, ErrBadBlockEncoding
+	}
+	var h Header
+	fixed := []struct {
+		idx int
+		dst []byte
+	}{
+		{0, h.ParentHash[:]}, {2, h.StateRoot[:]}, {3, h.TxRoot[:]},
+		{4, h.ReceiptRoot[:]}, {5, h.Coinbase[:]},
+	}
+	for _, f := range fixed {
+		if err := copyFixed(fields[f.idx], f.dst); err != nil {
+			return nil, ErrBadBlockEncoding
+		}
+	}
+	uints := []struct {
+		idx int
+		dst *uint64
+	}{
+		{1, &h.Number}, {6, &h.Difficulty}, {7, &h.GasLimit},
+		{8, &h.GasUsed}, {9, &h.Time}, {10, &h.PowNonce},
+	}
+	for _, u := range uints {
+		v, err := fields[u.idx].AsUint()
+		if err != nil {
+			return nil, ErrBadBlockEncoding
+		}
+		*u.dst = v
+	}
+	return &h, nil
+}
+
+// Block couples a header with its transaction body.
+type Block struct {
+	Header *Header
+	Txs    []*Transaction
+}
+
+// Hash returns the block hash.
+func (b *Block) Hash() Hash { return b.Header.Hash() }
+
+// Number returns the block height.
+func (b *Block) Number() uint64 { return b.Header.Number }
+
+// EncodeRLP serializes header and body.
+func (b *Block) EncodeRLP() []byte {
+	txItems := make([]rlp.Item, len(b.Txs))
+	for i, tx := range b.Txs {
+		txItems[i] = rlp.Item(txItem(tx))
+	}
+	return rlp.Encode(rlp.List(b.Header.toItem(), rlp.List(txItems...)))
+}
+
+func txItem(tx *Transaction) rlp.Item { return tx.toItem() }
+
+// DecodeBlock parses a block from its RLP encoding.
+func DecodeBlock(data []byte) (*Block, error) {
+	it, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("decode block: %w", err)
+	}
+	parts, err := it.Items()
+	if err != nil || len(parts) != 2 {
+		return nil, ErrBadBlockEncoding
+	}
+	header, err := headerFromItem(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	txItems, err := parts[1].Items()
+	if err != nil {
+		return nil, ErrBadBlockEncoding
+	}
+	txs := make([]*Transaction, len(txItems))
+	for i, ti := range txItems {
+		tx, err := transactionFromItem(ti)
+		if err != nil {
+			return nil, err
+		}
+		txs[i] = tx
+	}
+	return &Block{Header: header, Txs: txs}, nil
+}
+
+// DeriveTxRoot computes the ordered commitment over a transaction list.
+// It hashes the RLP list of transaction hashes; a Merkle trie root over
+// index→tx is equivalent for integrity purposes and this form is cheaper
+// to recompute during validation.
+func DeriveTxRoot(txs []*Transaction) Hash {
+	items := make([]rlp.Item, len(txs))
+	for i, tx := range txs {
+		h := tx.Hash()
+		items[i] = rlp.String(h[:])
+	}
+	return Keccak(rlp.Encode(rlp.List(items...)))
+}
+
+// DeriveReceiptRoot computes the ordered commitment over a receipt list.
+func DeriveReceiptRoot(receipts []*Receipt) Hash {
+	items := make([]rlp.Item, len(receipts))
+	for i, r := range receipts {
+		items[i] = rlp.String(Keccak(r.EncodeRLP()).Word().Hash().Bytes())
+	}
+	return Keccak(rlp.Encode(rlp.List(items...)))
+}
+
+// Bytes returns the hash as a byte slice (helper for RLP interop).
+func (h Hash) Bytes() []byte { return append([]byte{}, h[:]...) }

@@ -1,0 +1,172 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"sereth/internal/rlp"
+)
+
+// Transaction is a signed state-transition request. Field semantics follow
+// Ethereum's legacy transaction type; Value and GasPrice are uint64 because
+// the evaluation workloads never exceed 64-bit magnitudes (documented
+// substitution, see DESIGN.md §5).
+type Transaction struct {
+	Nonce    uint64  // per-sender sequence number; miners must respect it
+	To       Address // target contract (ZeroAddress = contract creation)
+	Value    uint64  // wei transferred
+	GasPrice uint64  // fee per gas unit; baseline miners sort by this
+	GasLimit uint64  // execution budget
+	Data     []byte  // calldata: selector ‖ argument words
+	From     Address // sender, bound by the signature
+	Sig      Hash    // deterministic keyed-Keccak signature (see wallet)
+}
+
+// Errors for transaction decoding.
+var (
+	ErrBadTxEncoding = errors.New("types: malformed transaction encoding")
+)
+
+// SigHash returns the digest a sender signs: the hash of the transaction
+// content excluding the signature itself.
+func (tx *Transaction) SigHash() Hash {
+	enc := rlp.Encode(rlp.List(
+		rlp.Uint(tx.Nonce),
+		rlp.String(tx.To[:]),
+		rlp.Uint(tx.Value),
+		rlp.Uint(tx.GasPrice),
+		rlp.Uint(tx.GasLimit),
+		rlp.String(tx.Data),
+		rlp.String(tx.From[:]),
+	))
+	return Keccak(enc)
+}
+
+// Hash returns the transaction identity hash (content + signature).
+func (tx *Transaction) Hash() Hash {
+	return Keccak(rlp.Encode(tx.toItem()))
+}
+
+func (tx *Transaction) toItem() rlp.Item {
+	return rlp.List(
+		rlp.Uint(tx.Nonce),
+		rlp.String(tx.To[:]),
+		rlp.Uint(tx.Value),
+		rlp.Uint(tx.GasPrice),
+		rlp.Uint(tx.GasLimit),
+		rlp.String(tx.Data),
+		rlp.String(tx.From[:]),
+		rlp.String(tx.Sig[:]),
+	)
+}
+
+// EncodeRLP serializes the transaction.
+func (tx *Transaction) EncodeRLP() []byte {
+	return rlp.Encode(tx.toItem())
+}
+
+// DecodeTransaction parses a transaction from its RLP encoding.
+func DecodeTransaction(data []byte) (*Transaction, error) {
+	it, err := rlp.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("decode tx: %w", err)
+	}
+	return transactionFromItem(it)
+}
+
+func transactionFromItem(it rlp.Item) (*Transaction, error) {
+	fields, err := it.Items()
+	if err != nil || len(fields) != 8 {
+		return nil, ErrBadTxEncoding
+	}
+	var tx Transaction
+	if tx.Nonce, err = fields[0].AsUint(); err != nil {
+		return nil, ErrBadTxEncoding
+	}
+	if err := copyFixed(fields[1], tx.To[:]); err != nil {
+		return nil, ErrBadTxEncoding
+	}
+	if tx.Value, err = fields[2].AsUint(); err != nil {
+		return nil, ErrBadTxEncoding
+	}
+	if tx.GasPrice, err = fields[3].AsUint(); err != nil {
+		return nil, ErrBadTxEncoding
+	}
+	if tx.GasLimit, err = fields[4].AsUint(); err != nil {
+		return nil, ErrBadTxEncoding
+	}
+	data, err := fields[5].Bytes()
+	if err != nil {
+		return nil, ErrBadTxEncoding
+	}
+	tx.Data = append([]byte{}, data...)
+	if err := copyFixed(fields[6], tx.From[:]); err != nil {
+		return nil, ErrBadTxEncoding
+	}
+	if err := copyFixed(fields[7], tx.Sig[:]); err != nil {
+		return nil, ErrBadTxEncoding
+	}
+	return &tx, nil
+}
+
+func copyFixed(it rlp.Item, dst []byte) error {
+	b, err := it.Bytes()
+	if err != nil || len(b) != len(dst) {
+		return ErrBadTxEncoding
+	}
+	copy(dst, b)
+	return nil
+}
+
+// FPV extracts the HMS argument tuple from the transaction calldata.
+func (tx *Transaction) FPV() (FPV, error) { return DecodeFPV(tx.Data) }
+
+// Selector returns the 4-byte function selector of the calldata.
+func (tx *Transaction) Selector() (Selector, bool) { return CallSelector(tx.Data) }
+
+// Copy returns a deep copy of the transaction.
+func (tx *Transaction) Copy() *Transaction {
+	cp := *tx
+	cp.Data = append([]byte{}, tx.Data...)
+	return &cp
+}
+
+// ReceiptStatus reports whether an included transaction changed state.
+type ReceiptStatus uint8
+
+// Receipt statuses. A Failed transaction is included in its block and
+// consumes gas, but all its state effects were rolled back — the paper's
+// definition of a failed blockchain transaction (§II-D).
+const (
+	StatusFailed ReceiptStatus = iota
+	StatusSucceeded
+)
+
+func (s ReceiptStatus) String() string {
+	if s == StatusSucceeded {
+		return "succeeded"
+	}
+	return "failed"
+}
+
+// Receipt records the outcome of an included transaction.
+type Receipt struct {
+	TxHash      Hash
+	Status      ReceiptStatus
+	GasUsed     uint64
+	ReturnValue Word   // first word of the EVM return data, if any
+	BlockNumber uint64 // block that included the transaction
+	TxIndex     int    // position within the block
+}
+
+// EncodeRLP serializes the receipt for the receipt trie.
+func (r *Receipt) EncodeRLP() []byte {
+	return rlp.Encode(rlp.List(
+		rlp.String(r.TxHash[:]),
+		rlp.Uint(uint64(r.Status)),
+		rlp.Uint(r.GasUsed),
+		rlp.String(r.ReturnValue[:]),
+		rlp.Uint(r.BlockNumber),
+		rlp.Uint(uint64(r.TxIndex)),
+	))
+}

@@ -1,0 +1,269 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordUint64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 255, 1 << 40, ^uint64(0)} {
+		w := WordFromUint64(v)
+		got, ok := w.Uint64()
+		if !ok || got != v {
+			t.Errorf("round trip %d -> %d ok=%v", v, got, ok)
+		}
+	}
+	var w Word
+	w[0] = 1 // high byte set: does not fit in uint64
+	if _, ok := w.Uint64(); ok {
+		t.Error("overflow not detected")
+	}
+}
+
+func TestAddressWordRoundTrip(t *testing.T) {
+	var a Address
+	for i := range a {
+		a[i] = byte(i + 1)
+	}
+	if got := a.Word().Address(); got != a {
+		t.Errorf("round trip: %v != %v", got, a)
+	}
+	// The word must be left-padded.
+	w := a.Word()
+	for i := 0; i < WordLength-AddressLength; i++ {
+		if w[i] != 0 {
+			t.Error("padding not zero")
+		}
+	}
+}
+
+func TestHexParsing(t *testing.T) {
+	a, err := HexToAddress("0x00000000000000000000000000000000000000Ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[19] != 0xff {
+		t.Errorf("low byte = %x", a[19])
+	}
+	// Short input is left-padded.
+	b, err := HexToAddress("ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("short form differs from padded form")
+	}
+	if _, err := HexToAddress("0xzz"); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := HexToHash("0x" + string(bytes.Repeat([]byte("ab"), 40))); err == nil {
+		t.Error("over-long hash accepted")
+	}
+	h, err := HexToHash("0x01")
+	if err != nil || h[31] != 1 {
+		t.Errorf("hash parse: %v %v", h, err)
+	}
+}
+
+func TestNextMarkChaining(t *testing.T) {
+	// mark' = Keccak(prevMark ‖ value): deterministic and order-sensitive.
+	prev := WordFromUint64(5)
+	val := WordFromUint64(7)
+	m1 := NextMark(prev, val)
+	m2 := NextMark(prev, val)
+	if m1 != m2 {
+		t.Error("NextMark not deterministic")
+	}
+	if NextMark(val, prev) == m1 {
+		t.Error("NextMark ignores argument order")
+	}
+	if m1.IsZero() {
+		t.Error("mark is zero")
+	}
+}
+
+func TestSelectorsDistinct(t *testing.T) {
+	sigs := []string{"set(bytes32[3])", "buy(bytes32[3])", "get(bytes32[3])", "mark(bytes32[3])"}
+	seen := map[Selector]string{}
+	for _, sig := range sigs {
+		sel := SelectorFor(sig)
+		if prev, dup := seen[sel]; dup {
+			t.Errorf("selector collision between %q and %q", prev, sig)
+		}
+		seen[sel] = sig
+	}
+}
+
+func TestEncodeDecodeFPV(t *testing.T) {
+	sel := SelectorFor("set(bytes32[3])")
+	fpv := FPV{Flag: FlagChain, PrevMark: WordFromUint64(42), Value: WordFromUint64(99)}
+	data := EncodeCall(sel, fpv.Flag, fpv.PrevMark, fpv.Value)
+	gotSel, ok := CallSelector(data)
+	if !ok || gotSel != sel {
+		t.Error("selector round trip failed")
+	}
+	got, err := DecodeFPV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fpv {
+		t.Errorf("FPV round trip: %+v != %+v", got, fpv)
+	}
+}
+
+func TestDecodeFPVShort(t *testing.T) {
+	if _, err := DecodeFPV([]byte{1, 2, 3}); err == nil {
+		t.Error("short calldata accepted")
+	}
+	if _, ok := CallSelector([]byte{1}); ok {
+		t.Error("short selector accepted")
+	}
+}
+
+func sampleTx() *Transaction {
+	var to Address
+	to[19] = 0xaa
+	var from Address
+	from[19] = 0xbb
+	return &Transaction{
+		Nonce:    7,
+		To:       to,
+		Value:    0,
+		GasPrice: 100,
+		GasLimit: 90000,
+		Data:     EncodeCall(SelectorFor("set(bytes32[3])"), FlagHead, WordFromUint64(1), WordFromUint64(2)),
+		From:     from,
+		Sig:      Keccak([]byte("sig")),
+	}
+}
+
+func TestTransactionRoundTrip(t *testing.T) {
+	tx := sampleTx()
+	back, err := DecodeTransaction(tx.EncodeRLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != tx.Hash() {
+		t.Error("hash changed after round trip")
+	}
+	if back.Nonce != tx.Nonce || back.From != tx.From || !bytes.Equal(back.Data, tx.Data) {
+		t.Error("fields corrupted")
+	}
+}
+
+func TestTransactionHashDistinguishesSig(t *testing.T) {
+	tx := sampleTx()
+	sigHash := tx.SigHash()
+	tx2 := tx.Copy()
+	tx2.Sig = Keccak([]byte("other"))
+	if tx.Hash() == tx2.Hash() {
+		t.Error("Hash must cover the signature")
+	}
+	if sigHash != tx2.SigHash() {
+		t.Error("SigHash must not cover the signature")
+	}
+	tx3 := tx.Copy()
+	tx3.Data[5] ^= 0xff
+	if tx3.SigHash() == sigHash {
+		t.Error("SigHash must cover calldata (RAA tamper evidence)")
+	}
+}
+
+func TestTransactionCopyIsDeep(t *testing.T) {
+	tx := sampleTx()
+	cp := tx.Copy()
+	cp.Data[0] ^= 0xff
+	if tx.Data[0] == cp.Data[0] {
+		t.Error("Copy shares Data slice")
+	}
+}
+
+func TestDecodeTransactionErrors(t *testing.T) {
+	if _, err := DecodeTransaction([]byte{0xc0}); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := DecodeTransaction([]byte{0x01}); err == nil {
+		t.Error("non-list accepted")
+	}
+}
+
+func sampleBlock() *Block {
+	txs := []*Transaction{sampleTx()}
+	h := &Header{
+		ParentHash: Keccak([]byte("parent")),
+		Number:     9,
+		StateRoot:  Keccak([]byte("state")),
+		TxRoot:     DeriveTxRoot(txs),
+		Coinbase:   Address{1},
+		Difficulty: 1000,
+		GasLimit:   8_000_000,
+		GasUsed:    21_000,
+		Time:       120,
+		PowNonce:   42,
+	}
+	return &Block{Header: h, Txs: txs}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	b := sampleBlock()
+	back, err := DecodeBlock(b.EncodeRLP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != b.Hash() {
+		t.Error("block hash changed after round trip")
+	}
+	if len(back.Txs) != 1 || back.Txs[0].Hash() != b.Txs[0].Hash() {
+		t.Error("body corrupted")
+	}
+}
+
+func TestSealHashIgnoresNonce(t *testing.T) {
+	b := sampleBlock()
+	h1 := b.Header.SealHash()
+	cp := *b.Header
+	cp.PowNonce = 999
+	if cp.SealHash() != h1 {
+		t.Error("SealHash depends on nonce")
+	}
+	if cp.Hash() == b.Header.Hash() {
+		t.Error("Hash must cover nonce")
+	}
+}
+
+func TestDeriveRootsOrderSensitive(t *testing.T) {
+	tx1 := sampleTx()
+	tx2 := sampleTx()
+	tx2.Nonce = 8
+	r1 := DeriveTxRoot([]*Transaction{tx1, tx2})
+	r2 := DeriveTxRoot([]*Transaction{tx2, tx1})
+	if r1 == r2 {
+		t.Error("tx root ignores order")
+	}
+	rcpt1 := &Receipt{TxHash: tx1.Hash(), Status: StatusSucceeded}
+	rcpt2 := &Receipt{TxHash: tx2.Hash(), Status: StatusFailed}
+	if DeriveReceiptRoot([]*Receipt{rcpt1, rcpt2}) == DeriveReceiptRoot([]*Receipt{rcpt2, rcpt1}) {
+		t.Error("receipt root ignores order")
+	}
+}
+
+func TestReceiptStatusString(t *testing.T) {
+	if StatusSucceeded.String() != "succeeded" || StatusFailed.String() != "failed" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestQuickTxRoundTrip(t *testing.T) {
+	f := func(nonce, value, gasPrice, gasLimit uint64, data []byte, fromRaw, toRaw [20]byte) bool {
+		tx := &Transaction{
+			Nonce: nonce, Value: value, GasPrice: gasPrice, GasLimit: gasLimit,
+			Data: data, From: Address(fromRaw), To: Address(toRaw),
+		}
+		back, err := DecodeTransaction(tx.EncodeRLP())
+		return err == nil && back.Hash() == tx.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

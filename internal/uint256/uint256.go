@@ -1,0 +1,334 @@
+// Package uint256 implements fixed-size 256-bit unsigned integer arithmetic
+// used as the EVM word type. Values are immutable little-endian limb arrays;
+// all operations return new values. Multiplication, addition and comparison
+// are implemented natively on limbs; division and modulus fall back to
+// math/big (they are cold paths in the interpreter).
+package uint256
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/big"
+	"math/bits"
+)
+
+// Int is a 256-bit unsigned integer. The zero value is usable and equals 0.
+// Limb order is little-endian: limbs[0] holds bits 0-63.
+type Int struct {
+	limbs [4]uint64
+}
+
+// Common constants. These are values (not pointers) so they cannot be
+// mutated by callers.
+var (
+	// Zero is the integer 0.
+	Zero = Int{}
+	// One is the integer 1.
+	One = Int{limbs: [4]uint64{1, 0, 0, 0}}
+	// Max is 2^256 - 1.
+	Max = Int{limbs: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}}
+)
+
+// ErrOverflow reports that a value does not fit in 256 bits.
+var ErrOverflow = errors.New("uint256: value overflows 256 bits")
+
+// NewFromUint64 returns an Int holding v.
+func NewFromUint64(v uint64) Int {
+	return Int{limbs: [4]uint64{v, 0, 0, 0}}
+}
+
+// FromBig converts a non-negative big.Int. It returns ErrOverflow if v
+// needs more than 256 bits or is negative.
+func FromBig(v *big.Int) (Int, error) {
+	if v.Sign() < 0 || v.BitLen() > 256 {
+		return Int{}, ErrOverflow
+	}
+	var out Int
+	words := v.Bits()
+	for i, w := range words {
+		if i >= 4 {
+			break
+		}
+		out.limbs[i] = uint64(w)
+	}
+	return out, nil
+}
+
+// FromBytes interprets b as a big-endian unsigned integer. Inputs longer
+// than 32 bytes keep only the low-order 32 bytes (EVM semantics).
+func FromBytes(b []byte) Int {
+	if len(b) > 32 {
+		b = b[len(b)-32:]
+	}
+	var buf [32]byte
+	copy(buf[32-len(b):], b)
+	return FromBytes32(buf)
+}
+
+// FromBytes32 interprets a fixed 32-byte big-endian array.
+func FromBytes32(b [32]byte) Int {
+	return Int{limbs: [4]uint64{
+		binary.BigEndian.Uint64(b[24:32]),
+		binary.BigEndian.Uint64(b[16:24]),
+		binary.BigEndian.Uint64(b[8:16]),
+		binary.BigEndian.Uint64(b[0:8]),
+	}}
+}
+
+// Bytes32 returns the big-endian 32-byte representation.
+func (x Int) Bytes32() [32]byte {
+	var b [32]byte
+	binary.BigEndian.PutUint64(b[0:8], x.limbs[3])
+	binary.BigEndian.PutUint64(b[8:16], x.limbs[2])
+	binary.BigEndian.PutUint64(b[16:24], x.limbs[1])
+	binary.BigEndian.PutUint64(b[24:32], x.limbs[0])
+	return b
+}
+
+// Bytes returns the minimal big-endian representation (no leading zeros,
+// empty slice for zero).
+func (x Int) Bytes() []byte {
+	full := x.Bytes32()
+	i := 0
+	for i < 32 && full[i] == 0 {
+		i++
+	}
+	out := make([]byte, 32-i)
+	copy(out, full[i:])
+	return out
+}
+
+// ToBig converts to a math/big integer.
+func (x Int) ToBig() *big.Int {
+	b := x.Bytes32()
+	return new(big.Int).SetBytes(b[:])
+}
+
+// Uint64 returns the low 64 bits and whether the value fits in 64 bits.
+func (x Int) Uint64() (uint64, bool) {
+	return x.limbs[0], x.limbs[1] == 0 && x.limbs[2] == 0 && x.limbs[3] == 0
+}
+
+// IsZero reports whether x == 0.
+func (x Int) IsZero() bool {
+	return x.limbs[0]|x.limbs[1]|x.limbs[2]|x.limbs[3] == 0
+}
+
+// Eq reports whether x == y.
+func (x Int) Eq(y Int) bool { return x.limbs == y.limbs }
+
+// Cmp compares x and y, returning -1, 0 or +1.
+func (x Int) Cmp(y Int) int {
+	for i := 3; i >= 0; i-- {
+		switch {
+		case x.limbs[i] < y.limbs[i]:
+			return -1
+		case x.limbs[i] > y.limbs[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Lt reports x < y.
+func (x Int) Lt(y Int) bool { return x.Cmp(y) < 0 }
+
+// Gt reports x > y.
+func (x Int) Gt(y Int) bool { return x.Cmp(y) > 0 }
+
+// Add returns x + y mod 2^256.
+func (x Int) Add(y Int) Int {
+	var out Int
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		out.limbs[i], carry = bits.Add64(x.limbs[i], y.limbs[i], carry)
+	}
+	return out
+}
+
+// AddOverflow returns x + y mod 2^256 and whether the addition wrapped.
+func (x Int) AddOverflow(y Int) (Int, bool) {
+	var out Int
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		out.limbs[i], carry = bits.Add64(x.limbs[i], y.limbs[i], carry)
+	}
+	return out, carry != 0
+}
+
+// Sub returns x - y mod 2^256.
+func (x Int) Sub(y Int) Int {
+	var out Int
+	var borrow uint64
+	for i := 0; i < 4; i++ {
+		out.limbs[i], borrow = bits.Sub64(x.limbs[i], y.limbs[i], borrow)
+	}
+	return out
+}
+
+// SubUnderflow returns x - y mod 2^256 and whether the subtraction wrapped.
+func (x Int) SubUnderflow(y Int) (Int, bool) {
+	var out Int
+	var borrow uint64
+	for i := 0; i < 4; i++ {
+		out.limbs[i], borrow = bits.Sub64(x.limbs[i], y.limbs[i], borrow)
+	}
+	return out, borrow != 0
+}
+
+// Mul returns x * y mod 2^256 (schoolbook multiplication, truncated).
+func (x Int) Mul(y Int) Int {
+	var out Int
+	for i := 0; i < 4; i++ {
+		if y.limbs[i] == 0 {
+			continue
+		}
+		var carry uint64
+		for j := 0; i+j < 4; j++ {
+			hi, lo := bits.Mul64(x.limbs[j], y.limbs[i])
+			lo, c1 := bits.Add64(lo, out.limbs[i+j], 0)
+			lo, c2 := bits.Add64(lo, carry, 0)
+			out.limbs[i+j] = lo
+			carry = hi + c1 + c2
+		}
+	}
+	return out
+}
+
+// Div returns x / y (integer division). Division by zero yields 0
+// (EVM semantics).
+func (x Int) Div(y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	q, _ := FromBig(new(big.Int).Div(x.ToBig(), y.ToBig()))
+	return q
+}
+
+// Mod returns x % y. Modulus by zero yields 0 (EVM semantics).
+func (x Int) Mod(y Int) Int {
+	if y.IsZero() {
+		return Zero
+	}
+	m, _ := FromBig(new(big.Int).Mod(x.ToBig(), y.ToBig()))
+	return m
+}
+
+// Exp returns x ** y mod 2^256 via square-and-multiply.
+func (x Int) Exp(y Int) Int {
+	result := One
+	base := x
+	n := y.BitLen()
+	for i := 0; i < n; i++ {
+		if y.Bit(i) == 1 {
+			result = result.Mul(base)
+		}
+		base = base.Mul(base)
+	}
+	return result
+}
+
+// Bit returns bit i of x (0 or 1); i >= 256 yields 0.
+func (x Int) Bit(i int) uint {
+	if i < 0 || i >= 256 {
+		return 0
+	}
+	return uint(x.limbs[i/64]>>(uint(i)%64)) & 1
+}
+
+// And returns x & y.
+func (x Int) And(y Int) Int {
+	return Int{limbs: [4]uint64{
+		x.limbs[0] & y.limbs[0], x.limbs[1] & y.limbs[1],
+		x.limbs[2] & y.limbs[2], x.limbs[3] & y.limbs[3],
+	}}
+}
+
+// Or returns x | y.
+func (x Int) Or(y Int) Int {
+	return Int{limbs: [4]uint64{
+		x.limbs[0] | y.limbs[0], x.limbs[1] | y.limbs[1],
+		x.limbs[2] | y.limbs[2], x.limbs[3] | y.limbs[3],
+	}}
+}
+
+// Xor returns x ^ y.
+func (x Int) Xor(y Int) Int {
+	return Int{limbs: [4]uint64{
+		x.limbs[0] ^ y.limbs[0], x.limbs[1] ^ y.limbs[1],
+		x.limbs[2] ^ y.limbs[2], x.limbs[3] ^ y.limbs[3],
+	}}
+}
+
+// Not returns ^x.
+func (x Int) Not() Int {
+	return Int{limbs: [4]uint64{
+		^x.limbs[0], ^x.limbs[1], ^x.limbs[2], ^x.limbs[3],
+	}}
+}
+
+// Lsh returns x << n. Shifts of 256 or more yield 0.
+func (x Int) Lsh(n uint) Int {
+	if n >= 256 {
+		return Zero
+	}
+	words := n / 64
+	shift := n % 64
+	var out Int
+	for i := 3; i >= int(words); i-- {
+		v := x.limbs[i-int(words)] << shift
+		if shift > 0 && i-int(words)-1 >= 0 {
+			v |= x.limbs[i-int(words)-1] >> (64 - shift)
+		}
+		out.limbs[i] = v
+	}
+	return out
+}
+
+// Rsh returns x >> n. Shifts of 256 or more yield 0.
+func (x Int) Rsh(n uint) Int {
+	if n >= 256 {
+		return Zero
+	}
+	words := n / 64
+	shift := n % 64
+	var out Int
+	for i := 0; i < 4-int(words); i++ {
+		v := x.limbs[i+int(words)] >> shift
+		if shift > 0 && i+int(words)+1 < 4 {
+			v |= x.limbs[i+int(words)+1] << (64 - shift)
+		}
+		out.limbs[i] = v
+	}
+	return out
+}
+
+// Byte returns byte n of the big-endian representation (EVM BYTE opcode);
+// n >= 32 yields 0.
+func (x Int) Byte(n uint64) Int {
+	if n >= 32 {
+		return Zero
+	}
+	b := x.Bytes32()
+	return NewFromUint64(uint64(b[n]))
+}
+
+// BitLen returns the minimum number of bits needed to represent x.
+func (x Int) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if x.limbs[i] != 0 {
+			return i*64 + bits.Len64(x.limbs[i])
+		}
+	}
+	return 0
+}
+
+// String returns the decimal representation.
+func (x Int) String() string {
+	return x.ToBig().String()
+}
+
+// Hex returns the 0x-prefixed minimal hexadecimal representation.
+func (x Int) Hex() string {
+	return "0x" + x.ToBig().Text(16)
+}

@@ -1,0 +1,370 @@
+package uint256
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+var twoTo256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+func fromLimbs(a, b, c, d uint64) Int {
+	return Int{limbs: [4]uint64{a, b, c, d}}
+}
+
+func big256(x Int) *big.Int { return x.ToBig() }
+
+func mod256(v *big.Int) *big.Int { return new(big.Int).Mod(v, twoTo256) }
+
+func TestBasicConstants(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Error("Zero is not zero")
+	}
+	if One.IsZero() {
+		t.Error("One is zero")
+	}
+	if got := Max.ToBig(); got.Cmp(new(big.Int).Sub(twoTo256, big.NewInt(1))) != 0 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	cases := []Int{
+		Zero, One, Max,
+		NewFromUint64(0xdeadbeef),
+		fromLimbs(1, 2, 3, 4),
+		fromLimbs(^uint64(0), 0, ^uint64(0), 0),
+	}
+	for _, c := range cases {
+		if got := FromBytes32(c.Bytes32()); !got.Eq(c) {
+			t.Errorf("round trip failed for %v", c)
+		}
+		if got := FromBytes(c.Bytes()); !got.Eq(c) {
+			t.Errorf("minimal round trip failed for %v", c)
+		}
+	}
+}
+
+func TestFromBytesLong(t *testing.T) {
+	// 40-byte input keeps the low 32 bytes.
+	long := make([]byte, 40)
+	for i := range long {
+		long[i] = byte(i + 1)
+	}
+	got := FromBytes(long)
+	want := FromBytes(long[8:])
+	if !got.Eq(want) {
+		t.Errorf("FromBytes long input: got %v want %v", got, want)
+	}
+}
+
+func TestFromBig(t *testing.T) {
+	if _, err := FromBig(big.NewInt(-1)); err == nil {
+		t.Error("negative accepted")
+	}
+	if _, err := FromBig(twoTo256); err == nil {
+		t.Error("2^256 accepted")
+	}
+	v, err := FromBig(new(big.Int).Sub(twoTo256, big.NewInt(1)))
+	if err != nil {
+		t.Fatalf("max rejected: %v", err)
+	}
+	if !v.Eq(Max) {
+		t.Error("max mismatch")
+	}
+}
+
+func TestUint64(t *testing.T) {
+	v, ok := NewFromUint64(42).Uint64()
+	if !ok || v != 42 {
+		t.Errorf("got %d %v", v, ok)
+	}
+	if _, ok := fromLimbs(1, 1, 0, 0).Uint64(); ok {
+		t.Error("overflow not reported")
+	}
+}
+
+func TestAddSubTable(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y Int
+		add  Int
+		sub  Int
+	}{
+		{"zero", Zero, Zero, Zero, Zero},
+		{"one-plus-one", One, One, NewFromUint64(2), Zero},
+		{"wrap-add", Max, One, Zero, fromLimbs(^uint64(0)-1, ^uint64(0), ^uint64(0), ^uint64(0))},
+		{"wrap-sub", Zero, One, One, Max},
+		{"carry-chain", fromLimbs(^uint64(0), ^uint64(0), 0, 0), One, fromLimbs(0, 0, 1, 0), fromLimbs(^uint64(0)-1, ^uint64(0), 0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.x.Add(tt.y); !got.Eq(tt.add) {
+				t.Errorf("Add: got %v want %v", got, tt.add)
+			}
+			if got := tt.x.Sub(tt.y); !got.Eq(tt.sub) {
+				t.Errorf("Sub: got %v want %v", got, tt.sub)
+			}
+		})
+	}
+}
+
+func TestOverflowFlags(t *testing.T) {
+	if _, over := Max.AddOverflow(One); !over {
+		t.Error("AddOverflow missed wrap")
+	}
+	if _, over := One.AddOverflow(One); over {
+		t.Error("AddOverflow false positive")
+	}
+	if _, under := Zero.SubUnderflow(One); !under {
+		t.Error("SubUnderflow missed wrap")
+	}
+	if _, under := One.SubUnderflow(One); under {
+		t.Error("SubUnderflow false positive")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a := fromLimbs(0, 0, 0, 1)
+	b := fromLimbs(^uint64(0), ^uint64(0), ^uint64(0), 0)
+	if a.Cmp(b) != 1 || !a.Gt(b) || b.Cmp(a) != -1 || !b.Lt(a) {
+		t.Error("high-limb comparison wrong")
+	}
+	if a.Cmp(a) != 0 {
+		t.Error("self comparison wrong")
+	}
+}
+
+func TestDivModEdge(t *testing.T) {
+	if !NewFromUint64(5).Div(Zero).IsZero() {
+		t.Error("div by zero should be 0")
+	}
+	if !NewFromUint64(5).Mod(Zero).IsZero() {
+		t.Error("mod by zero should be 0")
+	}
+	if got := NewFromUint64(17).Div(NewFromUint64(5)); !got.Eq(NewFromUint64(3)) {
+		t.Errorf("17/5 = %v", got)
+	}
+	if got := NewFromUint64(17).Mod(NewFromUint64(5)); !got.Eq(NewFromUint64(2)) {
+		t.Errorf("17%%5 = %v", got)
+	}
+}
+
+func TestExp(t *testing.T) {
+	tests := []struct {
+		base, exp, want uint64
+	}{
+		{2, 10, 1024},
+		{3, 0, 1},
+		{0, 0, 1},
+		{0, 5, 0},
+		{1, 1 << 20, 1},
+		{7, 3, 343},
+	}
+	for _, tt := range tests {
+		got := NewFromUint64(tt.base).Exp(NewFromUint64(tt.exp))
+		if !got.Eq(NewFromUint64(tt.want)) {
+			t.Errorf("%d**%d = %v want %d", tt.base, tt.exp, got, tt.want)
+		}
+	}
+	// 2**256 wraps to 0.
+	if got := NewFromUint64(2).Exp(NewFromUint64(256)); !got.IsZero() {
+		t.Errorf("2**256 = %v want 0", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	one := One
+	if got := one.Lsh(255); !got.Eq(fromLimbs(0, 0, 0, 1<<63)) {
+		t.Errorf("1<<255 = %v", got)
+	}
+	if got := one.Lsh(256); !got.IsZero() {
+		t.Errorf("1<<256 = %v", got)
+	}
+	if got := fromLimbs(0, 0, 0, 1<<63).Rsh(255); !got.Eq(One) {
+		t.Errorf(">>255 = %v", got)
+	}
+	if got := Max.Rsh(256); !got.IsZero() {
+		t.Errorf(">>256 = %v", got)
+	}
+	if got := One.Lsh(64); !got.Eq(fromLimbs(0, 1, 0, 0)) {
+		t.Errorf("1<<64 = %v", got)
+	}
+	// Word-aligned shift exercises the shift==0 branch.
+	if got := fromLimbs(0, 1, 0, 0).Rsh(64); !got.Eq(One) {
+		t.Errorf("(1<<64)>>64 = %v", got)
+	}
+}
+
+func TestByte(t *testing.T) {
+	v := FromBytes([]byte{0xAB, 0xCD})
+	// Big-endian byte 31 is 0xCD, byte 30 is 0xAB.
+	if got := v.Byte(31); !got.Eq(NewFromUint64(0xCD)) {
+		t.Errorf("byte 31 = %v", got)
+	}
+	if got := v.Byte(30); !got.Eq(NewFromUint64(0xAB)) {
+		t.Errorf("byte 30 = %v", got)
+	}
+	if got := v.Byte(32); !got.IsZero() {
+		t.Errorf("byte 32 = %v", got)
+	}
+}
+
+func TestBitLenAndBit(t *testing.T) {
+	if Zero.BitLen() != 0 {
+		t.Error("BitLen(0) != 0")
+	}
+	if One.BitLen() != 1 {
+		t.Error("BitLen(1) != 1")
+	}
+	if Max.BitLen() != 256 {
+		t.Error("BitLen(max) != 256")
+	}
+	v := One.Lsh(200)
+	if v.BitLen() != 201 {
+		t.Errorf("BitLen(1<<200) = %d", v.BitLen())
+	}
+	if v.Bit(200) != 1 || v.Bit(199) != 0 || v.Bit(300) != 0 {
+		t.Error("Bit() wrong")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if NewFromUint64(255).String() != "255" {
+		t.Error("String wrong")
+	}
+	if NewFromUint64(255).Hex() != "0xff" {
+		t.Error("Hex wrong")
+	}
+}
+
+// --- property tests against math/big ---
+
+type pair struct {
+	X, Y [32]byte
+}
+
+func (p pair) ints() (Int, Int) { return FromBytes32(p.X), FromBytes32(p.Y) }
+
+func TestQuickAdd(t *testing.T) {
+	f := func(p pair) bool {
+		x, y := p.ints()
+		want := mod256(new(big.Int).Add(big256(x), big256(y)))
+		return x.Add(y).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSub(t *testing.T) {
+	f := func(p pair) bool {
+		x, y := p.ints()
+		want := mod256(new(big.Int).Sub(big256(x), big256(y)))
+		return x.Sub(y).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMul(t *testing.T) {
+	f := func(p pair) bool {
+		x, y := p.ints()
+		want := mod256(new(big.Int).Mul(big256(x), big256(y)))
+		return x.Mul(y).ToBig().Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivMod(t *testing.T) {
+	f := func(p pair) bool {
+		x, y := p.ints()
+		if y.IsZero() {
+			return x.Div(y).IsZero() && x.Mod(y).IsZero()
+		}
+		q := new(big.Int).Div(big256(x), big256(y))
+		m := new(big.Int).Mod(big256(x), big256(y))
+		return x.Div(y).ToBig().Cmp(q) == 0 && x.Mod(y).ToBig().Cmp(m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmp(t *testing.T) {
+	f := func(p pair) bool {
+		x, y := p.ints()
+		return x.Cmp(y) == big256(x).Cmp(big256(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitwise(t *testing.T) {
+	f := func(p pair) bool {
+		x, y := p.ints()
+		bx, by := big256(x), big256(y)
+		if x.And(y).ToBig().Cmp(new(big.Int).And(bx, by)) != 0 {
+			return false
+		}
+		if x.Or(y).ToBig().Cmp(new(big.Int).Or(bx, by)) != 0 {
+			return false
+		}
+		if x.Xor(y).ToBig().Cmp(new(big.Int).Xor(bx, by)) != 0 {
+			return false
+		}
+		// ^x == Max - x for 256-bit complement.
+		return x.Not().ToBig().Cmp(new(big.Int).Sub(Max.ToBig(), bx)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShifts(t *testing.T) {
+	f := func(p pair, nRaw uint8) bool {
+		x, _ := p.ints()
+		n := uint(nRaw) % 300
+		wantL := mod256(new(big.Int).Lsh(big256(x), n))
+		wantR := new(big.Int).Rsh(big256(x), n)
+		return x.Lsh(n).ToBig().Cmp(wantL) == 0 && x.Rsh(n).ToBig().Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(p pair) bool {
+		x, _ := p.ints()
+		y, err := FromBig(x.ToBig())
+		return err == nil && y.Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x := fromLimbs(1, 2, 3, 4)
+	y := fromLimbs(5, 6, 7, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Add(y)
+	}
+	_ = x
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := fromLimbs(1, 2, 3, 4)
+	y := fromLimbs(5, 6, 7, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Mul(y)
+	}
+	_ = x
+}

@@ -1,0 +1,104 @@
+// Package wallet provides account key management and transaction signing.
+//
+// Substitution note (DESIGN.md §5): instead of secp256k1 ECDSA we use a
+// deterministic keyed-Keccak scheme — pub = K(priv), addr = K(pub)[12:],
+// sig = K(priv ‖ sigHash). Verification recomputes the signature from the
+// registry of known public keys. The evaluation never attacks the
+// signature scheme; what it relies on is (a) sender authentication and
+// (b) tamper evidence for signed calldata (the RAA limitation, §III-D),
+// both of which this scheme preserves deterministically.
+package wallet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sereth/internal/keccak"
+	"sereth/internal/types"
+)
+
+// Key is a signing identity.
+type Key struct {
+	priv [32]byte
+	pub  [32]byte
+	addr types.Address
+}
+
+// NewKey derives a key deterministically from a seed string.
+func NewKey(seed string) *Key {
+	var k Key
+	k.priv = keccak.Sum256([]byte("sereth-key:" + seed))
+	k.pub = keccak.Sum256(k.priv[:])
+	pubHash := keccak.Sum256(k.pub[:])
+	copy(k.addr[:], pubHash[12:])
+	return &k
+}
+
+// Address returns the account address bound to the key.
+func (k *Key) Address() types.Address { return k.addr }
+
+// PublicKey returns the 32-byte public key.
+func (k *Key) PublicKey() [32]byte { return k.pub }
+
+// Sign computes the signature over a digest.
+func (k *Key) Sign(digest types.Hash) types.Hash {
+	return types.Hash(keccak.Sum256(k.priv[:], digest[:]))
+}
+
+// SignTx fills in From and Sig on the transaction.
+func (k *Key) SignTx(tx *types.Transaction) *types.Transaction {
+	tx.From = k.addr
+	tx.Sig = k.Sign(tx.SigHash())
+	return tx
+}
+
+// Verification errors.
+var (
+	ErrUnknownSigner = errors.New("wallet: unknown signer address")
+	ErrBadSignature  = errors.New("wallet: signature mismatch")
+)
+
+// Registry verifies signatures for a set of known accounts. In a real
+// deployment verification is pairing-free public-key recovery; here the
+// network's genesis registers every participating account, mirroring the
+// paper's closed experimental topology.
+type Registry struct {
+	mu   sync.RWMutex
+	keys map[types.Address]*Key
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{keys: make(map[types.Address]*Key)}
+}
+
+// Register adds a key to the registry.
+func (r *Registry) Register(k *Key) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keys[k.addr] = k
+}
+
+// VerifyTx checks that the transaction's signature matches its contents
+// and claimed sender.
+func (r *Registry) VerifyTx(tx *types.Transaction) error {
+	r.mu.RLock()
+	k, ok := r.keys[tx.From]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSigner, tx.From.Hex())
+	}
+	if k.Sign(tx.SigHash()) != tx.Sig {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Known reports whether an address is registered.
+func (r *Registry) Known(addr types.Address) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.keys[addr]
+	return ok
+}
