@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-eta
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the full suite (η scenarios + view-latency microbenchmarks)
+# and writes BENCH_<date>.json for the cross-PR perf trajectory.
+bench:
+	$(GO) run ./cmd/serethbench
+
+# bench-eta reproduces the paper's Figure-2/ablation numbers via go test.
+bench-eta:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure2|BenchmarkAblation|BenchmarkSequential' -benchtime 1x .

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"sereth/internal/sim"
+	"sereth/internal/txpool"
 )
 
 func benchScenario(b *testing.B, mk func(int, int64) sim.ScenarioConfig, sets int) {
@@ -146,38 +147,76 @@ func BenchmarkAblationExtendHeads(b *testing.B) {
 	}
 }
 
-// P1: HMS overhead — Process and Series cost against pool size lives in
-// internal/hms (BenchmarkProcess, BenchmarkSeries). This root-level bench
-// exercises the full client-visible view path (pool snapshot + DAG +
-// deepest branch) as an end-to-end cost figure.
-func BenchmarkViewLatency(b *testing.B) {
-	cfg := sim.SerethClient(20, 1)
-	res, err := sim.Run(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	_ = res
-	// The view path cost is dominated by Process+Series; measure through
-	// a fresh tracker over a synthetic 1000-tx chain.
+// benchChainPool admits a 1000-tx chained series into a real pool with
+// an attached incremental tracker, returning both plus the tail tx.
+func benchChainPool(b *testing.B) (*txpool.Pool, *Tracker, *Transaction) {
+	b.Helper()
+	pool := txpool.New()
 	tracker := NewTracker(Address{19: 0xcc})
-	pool := make([]*Transaction, 0, 1000)
+	tracker.Attach(pool)
 	prev := Word{}
+	var tail *Transaction
 	for i := 0; i < 1000; i++ {
 		v := WordFromUint64(uint64(i + 1))
 		flag := FlagChain
 		if i == 0 {
 			flag = FlagHead
 		}
-		pool = append(pool, &Transaction{
+		tail = &Transaction{
 			Nonce: uint64(i), To: Address{19: 0xcc}, GasLimit: 1,
 			Data: EncodeCall(SelSet, flag, prev, v),
-		})
+		}
+		if err := pool.Add(tail); err != nil {
+			b.Fatal(err)
+		}
 		prev = NextMark(prev, v)
 	}
+	return pool, tracker, tail
+}
+
+// P1: HMS overhead — Process and Series cost against pool size lives in
+// internal/hms (BenchmarkProcess, BenchmarkSeries). This root-level bench
+// exercises the full client-visible view path on a 1000-tx pool: the
+// incremental tracker absorbs a pool delta (tail removed, view read,
+// tail re-admitted, view read) per iteration — the O(Δ) maintenance the
+// tentpole replaces the per-call full recompute with. The from-scratch
+// path is tracked separately in BenchmarkViewFromScratch.
+func BenchmarkViewLatency(b *testing.B) {
+	cfg := sim.SerethClient(20, 1)
+	if _, err := sim.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	pool, tracker, tail := benchChainPool(b)
+	tailHash := tail.Hash()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		view := tracker.ViewOf(pool)
+		view, ok := tracker.View()
+		if !ok || view.Depth != 1000 {
+			b.Fatalf("depth = %d", view.Depth)
+		}
+		pool.Remove([]Hash{tailHash})
+		if view, _ := tracker.View(); view.Depth != 999 {
+			b.Fatalf("churn depth = %d", view.Depth)
+		}
+		if err := pool.Add(tail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// P2: the pre-tentpole baseline — a standalone tracker recomputing the
+// whole view from a pool snapshot per call (kept for the perf
+// trajectory; the memoized marks and iterative longest-path DP speed
+// this up too, but it stays O(pool) per view).
+func BenchmarkViewFromScratch(b *testing.B) {
+	pool, _, _ := benchChainPool(b)
+	tracker := NewTracker(Address{19: 0xcc})
+	snapshot, _ := pool.Snapshot()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		view := tracker.ViewOf(snapshot)
 		if view.Depth != 1000 {
 			b.Fatalf("depth = %d", view.Depth)
 		}

@@ -1,0 +1,238 @@
+// Command serethbench runs the repository's benchmark suite outside `go
+// test` and writes a dated BENCH_<date>.json with η (the Figure-2
+// y-axis) and ns/op / allocs per scenario, so the performance trajectory
+// is tracked across PRs. The η values use the same fixed seeds as the
+// root bench harness at -benchtime 1x, so they are directly comparable
+// with `go test -bench` output and must stay bit-identical across pure
+// performance work.
+//
+// Usage:
+//
+//	go run ./cmd/serethbench [-out BENCH_2006-01-02.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sereth/internal/hms"
+	"sereth/internal/sim"
+	"sereth/internal/txpool"
+	"sereth/internal/types"
+)
+
+// Record is one benchmark result row.
+type Record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	Eta         float64 `json:"eta,omitempty"`
+	HasEta      bool    `json:"has_eta"`
+}
+
+// Report is the serialized BENCH file.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version,omitempty"`
+	Records   []Record `json:"records"`
+}
+
+func main() {
+	defaultOut := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	out := flag.String("out", defaultOut, "output JSON path")
+	flag.Parse()
+
+	var records []Record
+	add := func(r Record) {
+		records = append(records, r)
+		if r.HasEta {
+			fmt.Printf("%-48s %12.0f ns/op   eta=%.2f\n", r.Name, r.NsPerOp, r.Eta)
+		} else {
+			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+	}
+
+	for _, r := range etaScenarios() {
+		add(r)
+	}
+	add(viewLatency())
+	add(viewFromScratch())
+
+	report := Report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Records:   records,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serethbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "serethbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// etaSeed matches the root bench harness at -benchtime 1x: seed (i+1)*101
+// with i = 0.
+const etaSeed = 101
+
+// runEta executes one scenario at the fixed seed, recording wall time
+// and η.
+func runEta(name string, cfg sim.ScenarioConfig) Record {
+	start := time.Now()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serethbench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	return Record{
+		Name:    name,
+		NsPerOp: float64(time.Since(start).Nanoseconds()),
+		Eta:     res.Efficiency(),
+		HasEta:  true,
+	}
+}
+
+func etaScenarios() []Record {
+	var out []Record
+	type mkFn func(int, int64) sim.ScenarioConfig
+	for _, sc := range []struct {
+		name string
+		mk   mkFn
+	}{
+		{"figure2/geth", sim.GethUnmodified},
+		{"figure2/sereth", sim.SerethClient},
+		{"figure2/semantic", sim.SemanticMining},
+	} {
+		for _, sets := range []int{100, 20, 5} {
+			out = append(out, runEta(fmt.Sprintf("%s/sets-%d", sc.name, sets), sc.mk(sets, etaSeed)))
+		}
+	}
+
+	seq, err := sim.SequentialHistory(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serethbench: sequential:", err)
+		os.Exit(1)
+	}
+	out = append(out, Record{Name: "sequential-history", NsPerOp: 0, Eta: seq.Efficiency(), HasEta: true})
+
+	for _, fraction := range []float64{0, 0.5, 1} {
+		cfg := sim.SemanticMining(20, etaSeed)
+		cfg.SemanticFraction = fraction
+		out = append(out, runEta(fmt.Sprintf("ablation/participation/fraction-%d", int(fraction*100)), cfg))
+	}
+	for _, latency := range []uint64{50, 1000, 5000, 15000} {
+		cfg := sim.SerethClient(20, etaSeed)
+		cfg.GossipLatencyMs = latency
+		out = append(out, runEta(fmt.Sprintf("ablation/gossip/latency-%dms", latency), cfg))
+	}
+	for _, interval := range []uint64{500, 1000, 2000} {
+		cfg := sim.GethUnmodified(5, etaSeed)
+		cfg.SubmitIntervalMs = interval
+		out = append(out, runEta(fmt.Sprintf("ablation/interval/interval-%dms", interval), cfg))
+	}
+	for _, ext := range []bool{false, true} {
+		name := "ablation/extendheads/baseline"
+		if ext {
+			name = "ablation/extendheads/extended"
+		}
+		cfg := sim.SemanticMining(50, etaSeed)
+		cfg.ExtendHeads = ext
+		out = append(out, runEta(name, cfg))
+	}
+	return out
+}
+
+var benchContract = types.Address{19: 0xcc}
+
+func newTracker() *hms.Tracker {
+	return hms.NewTracker(hms.Config{
+		Contract:    benchContract,
+		SetSelector: types.SelectorFor("set(bytes32[3])"),
+		BuySelector: types.SelectorFor("buy(bytes32[3])"),
+	})
+}
+
+// chainPool mirrors the root BenchmarkViewLatency fixture: a 1000-tx
+// chained series admitted through a real pool.
+func chainPool() (*txpool.Pool, *hms.Tracker, *types.Transaction) {
+	pool := txpool.New()
+	tracker := newTracker()
+	tracker.Attach(pool)
+	selSet := types.SelectorFor("set(bytes32[3])")
+	prev := types.Word{}
+	var tail *types.Transaction
+	for i := 0; i < 1000; i++ {
+		v := types.WordFromUint64(uint64(i + 1))
+		flag := types.FlagChain
+		if i == 0 {
+			flag = types.FlagHead
+		}
+		tail = &types.Transaction{
+			Nonce: uint64(i), To: benchContract, GasLimit: 1,
+			Data: types.EncodeCall(selSet, flag, prev, v),
+		}
+		if err := pool.Add(tail); err != nil {
+			panic(err)
+		}
+		prev = types.NextMark(prev, v)
+	}
+	return pool, tracker, tail
+}
+
+func benchRecord(name string, res testing.BenchmarkResult) Record {
+	return Record{
+		Name:        name,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+func viewLatency() Record {
+	pool, tracker, tail := chainPool()
+	tailHash := tail.Hash()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			view, ok := tracker.View()
+			if !ok || view.Depth != 1000 {
+				b.Fatalf("depth = %d", view.Depth)
+			}
+			pool.Remove([]types.Hash{tailHash})
+			if view, _ := tracker.View(); view.Depth != 999 {
+				b.Fatalf("churn depth = %d", view.Depth)
+			}
+			if err := pool.Add(tail); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return benchRecord("view-latency/incremental-1k", res)
+}
+
+func viewFromScratch() Record {
+	pool, _, _ := chainPool()
+	tracker := newTracker()
+	snapshot, _ := pool.Snapshot()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if view := tracker.ViewOf(snapshot); view.Depth != 1000 {
+				b.Fatalf("depth = %d", view.Depth)
+			}
+		}
+	})
+	return benchRecord("view-latency/fromscratch-1k", res)
+}

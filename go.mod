@@ -1,0 +1,3 @@
+module sereth
+
+go 1.24

@@ -9,6 +9,7 @@ package hms
 import (
 	"sync"
 
+	"sereth/internal/txpool"
 	"sereth/internal/types"
 )
 
@@ -54,11 +55,33 @@ type View struct {
 
 // Tracker computes HMS views for one managed variable. Safe for
 // concurrent use.
+//
+// A tracker has two operating modes. Standalone (the paper's literal
+// algorithms): callers pass pool snapshots to ViewOf/SeriesOf and every
+// call recomputes from scratch. Incremental: Attach subscribes the
+// tracker to a txpool.Pool's change feed, after which it maintains the
+// mark-keyed DAG under pool deltas and View serves cached results in
+// O(1) while the pool generation is unchanged (see incremental.go).
 type Tracker struct {
 	cfg Config
 
 	mu        sync.RWMutex
 	committed types.AMV
+
+	// Incremental engine state; nil/zero until Attach (incremental.go).
+	attached bool
+	seeding  bool                    // Attach in progress: events land in backlog
+	backlog  []txpool.Change         // mutations racing the Attach snapshot seed
+	gen      uint64                  // pool generation reflected in the DAG
+	seq      uint64                  // admission order for tie-breaking
+	sets     map[types.Hash]*entry   // every live set tx, by identity hash
+	dups     map[types.Word][]*entry // mark -> seq-ordered entries; [0] active
+	kids     map[types.Word][]*entry // prevMark -> seq-ordered active entries
+	viewOK   bool
+	view     View
+	depths   map[*entry]int     // recompute scratch, reused across recomputes
+	headsBuf []*entry           // recompute scratch
+	stackBuf []dagFrame[*entry] // recompute scratch
 }
 
 // NewTracker returns a tracker with a zero committed state (genesis).
@@ -70,10 +93,15 @@ func NewTracker(cfg Config) *Tracker {
 func (t *Tracker) Config() Config { return t.cfg }
 
 // SetCommitted records the post-publication contract state; called by the
-// chain layer whenever a block commits.
+// chain layer whenever a block commits. A change of committed state
+// rebases the incremental engine's head candidates, so it invalidates
+// the cached view.
 func (t *Tracker) SetCommitted(amv types.AMV) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if amv != t.committed {
+		t.viewOK = false
+	}
 	t.committed = amv
 }
 
@@ -92,28 +120,43 @@ func (t *Tracker) Process(pool []*types.Transaction) []*Node {
 	var nodes []*Node
 	seen := make(map[types.Word]bool)
 	for _, tx := range pool {
-		if tx.To != t.cfg.Contract {
-			continue
-		}
-		sel, ok := tx.Selector()
-		if !ok || sel != t.cfg.SetSelector {
-			continue
-		}
-		fpv, err := tx.FPV()
-		if err != nil {
-			continue
-		}
-		if fpv.Flag != types.FlagHead && fpv.Flag != types.FlagChain {
-			continue // rejected (Algorithm 2, SUCCESS check)
-		}
-		mark := types.NextMark(fpv.PrevMark, fpv.Value)
-		if seen[mark] {
+		fpv, mark, ok := t.classifySet(tx)
+		if !ok || seen[mark] {
 			continue
 		}
 		seen[mark] = true
 		nodes = append(nodes, &Node{Tx: tx, FPV: fpv, Mark: mark})
 	}
 	return nodes
+}
+
+// classifySet applies Algorithm 2's admission filter: tx must target the
+// managed contract's set function, carry a decodable FPV, and be flagged
+// head or chain. It returns the FPV and mark (cached when memoized).
+// Both view paths — the snapshot Process and the incremental
+// insertLocked — share this single filter so they cannot drift.
+func (t *Tracker) classifySet(tx *types.Transaction) (types.FPV, types.Word, bool) {
+	if tx.To != t.cfg.Contract {
+		return types.FPV{}, types.Word{}, false
+	}
+	sel, ok := tx.Selector()
+	if !ok || sel != t.cfg.SetSelector {
+		return types.FPV{}, types.Word{}, false
+	}
+	fpv, err := tx.FPV()
+	if err != nil {
+		return types.FPV{}, types.Word{}, false
+	}
+	if fpv.Flag != types.FlagHead && fpv.Flag != types.FlagChain {
+		return types.FPV{}, types.Word{}, false // rejected (SUCCESS check)
+	}
+	var mark types.Word
+	if tx.Memoized() {
+		mark, _ = tx.Mark() // cached: no Keccak on the hot path
+	} else {
+		mark = types.NextMark(fpv.PrevMark, fpv.Value)
+	}
+	return fpv, mark, true
 }
 
 // Series links the nodes into a DAG and returns the deepest branch from
@@ -139,7 +182,13 @@ func (t *Tracker) Series(nodes []*Node) []*Node {
 
 	// Head candidates: head-flagged transactions chaining off the
 	// committed mark; optionally chain-flagged orphans that match it.
-	var best []*Node
+	// Depths are shared across candidates through one memo table, so the
+	// whole fork choice is O(V+E) instead of the exponential path-copying
+	// recursion of the literal Algorithm 3.
+	depth := make(map[*Node]int, len(nodes))
+	var scratch []dagFrame[*Node]
+	var best *Node
+	bestDepth := 0
 	for _, n := range nodes {
 		isHead := n.FPV.Flag == types.FlagHead && n.FPV.PrevMark == committedMark
 		if t.cfg.ExtendHeads && !isHead {
@@ -148,42 +197,111 @@ func (t *Tracker) Series(nodes []*Node) []*Node {
 		if !isHead {
 			continue
 		}
-		branch := deepestBranch(n, len(nodes))
-		if len(branch) > len(best) {
-			best = branch
+		var d int
+		if d, scratch = dagDepth(n, nodeNext, depth, scratch); d > bestDepth {
+			best, bestDepth = n, d
 		}
 	}
-	return best
+	if best == nil {
+		return nil
+	}
+	out := make([]*Node, 0, bestDepth)
+	walkDeepest(best, nodeNext, depth, func(n *Node) { out = append(out, n) })
+	return out
 }
 
-// deepestBranch performs the recursive longest-path search of Algorithm 3
-// (DEEPESTBRANCH) from a head node. limit bounds the walk so adversarial
-// mark collisions cannot loop (Lemma 2 guarantees termination for honest
-// marks; the limit makes it unconditional).
-func deepestBranch(head *Node, limit int) []*Node {
-	var (
-		maxPath []*Node
-		path    = make([]*Node, 0, limit)
-	)
-	var rec func(n *Node)
-	rec = func(n *Node) {
-		path = append(path, n)
-		defer func() { path = path[:len(path)-1] }()
-		if len(path) > limit {
-			return
-		}
-		if len(n.Next) == 0 {
-			if len(path) > len(maxPath) {
-				maxPath = append([]*Node{}, path...)
+func nodeNext(n *Node) []*Node { return n.Next }
+
+// depthPending marks a vertex currently on the DFS stack; edges into it
+// are back edges from adversarial mark collisions and are skipped, which
+// makes termination unconditional (Lemma 2 only covers honest marks).
+const depthPending = -1
+
+// dagFrame is one explicit-stack DFS frame of dagDepth. Hot callers
+// (the incremental view recompute) retain the returned stack so steady-
+// state recomputes allocate nothing.
+type dagFrame[N comparable] struct {
+	n     N
+	kids  []N // next(n), resolved once when the frame is pushed
+	child int
+	best  int
+}
+
+// dagDepth computes the longest-path node count from root over the DAG
+// induced by next, memoizing every reached vertex into depth. The memo
+// table is shared across roots, so evaluating all head candidates is
+// O(V+E) total. Self edges (next containing the vertex itself) are
+// ignored, matching the parent != n guard of the link step. scratch is
+// an optional reusable stack buffer; the possibly-grown buffer is
+// returned for the caller to retain.
+func dagDepth[N comparable](root N, next func(N) []N, depth map[N]int, scratch []dagFrame[N]) (int, []dagFrame[N]) {
+	if d, ok := depth[root]; ok && d != depthPending {
+		return d, scratch
+	}
+	type frame = dagFrame[N]
+	stack := append(scratch[:0], frame{n: root, kids: next(root)})
+	depth[root] = depthPending
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.child < len(f.kids) {
+			c := f.kids[f.child]
+			f.child++
+			if c == f.n {
+				continue
 			}
-			return
+			d, seen := depth[c]
+			switch {
+			case seen && d == depthPending:
+				// back edge (mark cycle): skip
+			case seen:
+				if d > f.best {
+					f.best = d
+				}
+			default:
+				depth[c] = depthPending
+				stack = append(stack, frame{n: c, kids: next(c)})
+			}
+			continue
 		}
-		for _, next := range n.Next {
-			rec(next)
+		d := f.best + 1
+		depth[f.n] = d
+		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			p := &stack[len(stack)-1]
+			if d > p.best {
+				p.best = d
+			}
 		}
 	}
-	rec(head)
-	return maxPath
+	return depth[root], stack
+}
+
+// walkDeepest visits the lexicographically-first deepest path from head
+// (the same branch the recursive DEEPESTBRANCH returned: ties between
+// equally deep children resolve to the earlier arrival), calling visit
+// for each vertex in series order.
+func walkDeepest[N comparable](head N, next func(N) []N, depth map[N]int, visit func(N)) {
+	n := head
+	for {
+		visit(n)
+		want := depth[n] - 1
+		if want <= 0 {
+			return
+		}
+		found := false
+		for _, c := range next(n) {
+			if c == n {
+				continue
+			}
+			if d, ok := depth[c]; ok && d == want {
+				n, found = c, true
+				break
+			}
+		}
+		if !found {
+			return // cycle-truncated branch (adversarial marks only)
+		}
+	}
 }
 
 // ViewOf computes the READ-UNCOMMITTED view from a pool snapshot

@@ -1,0 +1,389 @@
+package hms
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sereth/internal/txpool"
+	"sereth/internal/types"
+)
+
+// churner drives a pool through randomized mutations while keeping
+// enough bookkeeping to build plausible HMS traffic (chained sets,
+// duplicates, buys, foreign noise) and to pick removal victims.
+type churner struct {
+	rng     *rand.Rand
+	pool    *txpool.Pool
+	live    []*types.Transaction
+	removed []*types.Transaction // re-admission candidates (gossip redelivery)
+	marks   []types.Word         // candidate prev marks: committed + live set marks
+	nonce   uint64
+}
+
+func newChurner(seed int64, pool *txpool.Pool) *churner {
+	return &churner{
+		rng:   rand.New(rand.NewSource(seed)),
+		pool:  pool,
+		marks: []types.Word{types.ZeroWord},
+	}
+}
+
+func (c *churner) addTx(tx *types.Transaction) {
+	if err := c.pool.Add(tx); err != nil {
+		return
+	}
+	c.live = append(c.live, tx)
+}
+
+// step applies one random mutation. committed is the tracker's current
+// committed mark, used to emit head candidates.
+func (c *churner) step(committed types.Word) {
+	c.nonce++
+	sender := types.Address{19: byte(c.rng.Intn(5) + 1)}
+	switch op := c.rng.Intn(100); {
+	case op < 45: // chained set, sometimes a duplicate (prev,value) pair
+		prev := c.marks[c.rng.Intn(len(c.marks))]
+		value := types.WordFromUint64(uint64(c.rng.Intn(5) + 1))
+		flag := types.FlagChain
+		if prev == committed && c.rng.Intn(2) == 0 {
+			flag = types.FlagHead
+		}
+		tx := &types.Transaction{
+			Nonce: c.nonce, From: sender, To: contract,
+			GasPrice: 10, GasLimit: 100,
+			Data: types.EncodeCall(selSet, flag, prev, value),
+		}
+		c.addTx(tx)
+		c.marks = append(c.marks, types.NextMark(prev, value))
+	case op < 55: // buy on a live interval
+		prev := c.marks[c.rng.Intn(len(c.marks))]
+		tx := &types.Transaction{
+			Nonce: c.nonce, From: sender, To: contract,
+			GasPrice: 10, GasLimit: 100,
+			Data: types.EncodeCall(selBuy, types.FlagChain, prev, types.WordFromUint64(7)),
+		}
+		c.addTx(tx)
+	case op < 62: // noise: foreign contract, bad flag, short calldata
+		tx := &types.Transaction{
+			Nonce: c.nonce, From: sender, To: contract,
+			GasPrice: 10, GasLimit: 100,
+			Data: types.EncodeCall(selSet, types.WordFromUint64(9), types.ZeroWord, types.ZeroWord),
+		}
+		switch c.rng.Intn(3) {
+		case 0:
+			tx.To = types.Address{19: 0xdd}
+		case 1:
+			tx.Data = tx.Data[:7]
+		}
+		c.addTx(tx)
+	case op < 70: // re-admission of a removed tx (same hash, new arrival)
+		if len(c.removed) == 0 {
+			return
+		}
+		i := c.rng.Intn(len(c.removed))
+		tx := c.removed[i]
+		c.removed = append(c.removed[:i], c.removed[i+1:]...)
+		c.addTx(tx)
+	default: // removal
+		if len(c.live) == 0 {
+			return
+		}
+		i := c.rng.Intn(len(c.live))
+		c.pool.Remove([]types.Hash{c.live[i].Hash()})
+		c.removed = append(c.removed, c.live[i])
+		c.live = append(c.live[:i], c.live[i+1:]...)
+	}
+}
+
+var (
+	selSet = cfg().SetSelector
+	selBuy = cfg().BuySelector
+)
+
+// TestIncrementalEquivalence is the regression the tentpole demands: an
+// attached tracker's incrementally maintained View must equal a
+// from-scratch ViewOf over the pool snapshot after every one of >=1000
+// randomized churn steps (adds, duplicate marks, buys, noise, removals,
+// committed-state rebases and pool clears), with and without the
+// ExtendHeads ablation.
+func TestIncrementalEquivalence(t *testing.T) {
+	for _, ext := range []bool{false, true} {
+		name := "baseline"
+		if ext {
+			name = "extendheads"
+		}
+		t.Run(name, func(t *testing.T) {
+			trCfg := cfg()
+			trCfg.ExtendHeads = ext
+			pool := txpool.New()
+			inc := NewTracker(trCfg)
+			inc.Attach(pool)
+			ref := NewTracker(trCfg) // standalone from-scratch reference
+
+			ch := newChurner(0xC00C+int64(len(name)), pool)
+			committed := types.AMV{}
+			for step := 0; step < 1500; step++ {
+				ch.step(committed.Mark)
+				switch ch.rng.Intn(40) {
+				case 0: // rebase committed onto a live mark
+					committed = types.AMV{
+						Address: types.Address{19: 0xaa},
+						Mark:    ch.marks[ch.rng.Intn(len(ch.marks))],
+						Value:   types.WordFromUint64(uint64(step)),
+					}
+					inc.SetCommitted(committed)
+					ref.SetCommitted(committed)
+				case 1: // block-publication style flush
+					if ch.rng.Intn(4) == 0 {
+						pool.Clear()
+						ch.removed = append(ch.removed, ch.live...)
+						ch.live = nil
+					}
+				}
+				got, ok := inc.View()
+				if !ok {
+					t.Fatal("tracker not attached")
+				}
+				want := ref.ViewOf(pool.Pending())
+				if got != want {
+					t.Fatalf("step %d: incremental view %+v != from-scratch %+v (pool %d txs)",
+						step, got, want, pool.Len())
+				}
+			}
+			if pool.Len() == 0 {
+				t.Log("pool drained; churn mix may be too removal-heavy")
+			}
+		})
+	}
+}
+
+// TestAttachSeedsExistingPool verifies Attach replays the pool's current
+// content: views over a pre-populated pool match from-scratch.
+func TestAttachSeedsExistingPool(t *testing.T) {
+	pool := txpool.New()
+	prev := types.ZeroWord
+	flag := types.FlagHead
+	for i := 0; i < 25; i++ {
+		v := types.WordFromUint64(uint64(i + 1))
+		tx := &types.Transaction{
+			Nonce: uint64(i), From: owner, To: contract,
+			GasPrice: 10, GasLimit: 100,
+			Data: types.EncodeCall(selSet, flag, prev, v),
+		}
+		if err := pool.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+		prev = types.NextMark(prev, v)
+		flag = types.FlagChain
+	}
+	tr := NewTracker(cfg())
+	tr.Attach(pool)
+	got, ok := tr.View()
+	if !ok {
+		t.Fatal("not attached")
+	}
+	if got.Depth != 25 || got.AMV.Mark != prev {
+		t.Fatalf("seeded view = %+v", got)
+	}
+	if want := NewTracker(cfg()).ViewOf(pool.Pending()); got != want {
+		t.Fatalf("seeded view %+v != from-scratch %+v", got, want)
+	}
+}
+
+// TestViewCachedUntilPoolChanges pins the O(1) fast path: an unchanged
+// generation returns the identical cached view, and any relevant pool
+// delta or committed rebase invalidates it.
+func TestViewCachedUntilPoolChanges(t *testing.T) {
+	pool := txpool.New()
+	tr := NewTracker(cfg())
+	tr.Attach(pool)
+
+	mk := func(nonce uint64, flag, prev, value types.Word) *types.Transaction {
+		return &types.Transaction{
+			Nonce: nonce, From: owner, To: contract,
+			GasPrice: 10, GasLimit: 100,
+			Data: types.EncodeCall(selSet, flag, prev, value),
+		}
+	}
+	if err := pool.Add(mk(0, types.FlagHead, types.ZeroWord, types.WordFromUint64(5))); err != nil {
+		t.Fatal(err)
+	}
+	gen := tr.Generation()
+	if gen != pool.Generation() {
+		t.Fatalf("tracker gen %d != pool gen %d", gen, pool.Generation())
+	}
+	v1, _ := tr.View()
+	v2, _ := tr.View()
+	if v1 != v2 || v1.Depth != 1 {
+		t.Fatalf("cached view changed: %+v vs %+v", v1, v2)
+	}
+	// Irrelevant traffic bumps the generation but keeps the cached view.
+	foreign := mk(1, types.FlagHead, types.ZeroWord, types.WordFromUint64(6))
+	foreign.To = types.Address{19: 0xdd}
+	if err := pool.Add(foreign); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Generation() != pool.Generation() {
+		t.Fatal("generation not tracked")
+	}
+	if v3, _ := tr.View(); v3 != v1 {
+		t.Fatalf("foreign tx changed view: %+v", v3)
+	}
+	// A relevant delta changes the view.
+	m1 := types.NextMark(types.ZeroWord, types.WordFromUint64(5))
+	if err := pool.Add(mk(2, types.FlagChain, m1, types.WordFromUint64(7))); err != nil {
+		t.Fatal(err)
+	}
+	if v4, _ := tr.View(); v4.Depth != 2 {
+		t.Fatalf("delta not applied: %+v", v4)
+	}
+	// Committed rebase invalidates too: the chain-flagged successor of
+	// the newly committed mark is an orphan (the paper's §V-C loss), so
+	// the view falls back to committed state.
+	tr.SetCommitted(types.AMV{Mark: m1})
+	if v5, _ := tr.View(); v5.Depth != 0 || v5.AMV.Mark != m1 || v5.Flag != types.FlagHead {
+		t.Fatalf("rebase not applied: %+v", v5)
+	}
+}
+
+// TestUnattachedViewReportsNotOK pins the fallback contract consumers
+// rely on (node.ViewAMV, raa.HMSProvider).
+func TestUnattachedViewReportsNotOK(t *testing.T) {
+	tr := NewTracker(cfg())
+	if _, ok := tr.View(); ok {
+		t.Fatal("unattached tracker claimed a view")
+	}
+	if tr.Attached() {
+		t.Fatal("unattached tracker claims attachment")
+	}
+}
+
+// TestConcurrentViewChurn exercises the tentpole's locking contract
+// under -race: parallel View readers, from-scratch readers, pool
+// writers and committed rebases must not race or deadlock (lock order
+// pool.mu -> tracker.mu).
+func TestConcurrentViewChurn(t *testing.T) {
+	pool := txpool.New()
+	tr := NewTracker(cfg())
+	tr.Attach(pool)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			ch := newChurner(seed, pool)
+			for i := 0; i < 400; i++ {
+				ch.step(types.ZeroWord)
+			}
+		}(int64(w + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tr.SetCommitted(types.AMV{Value: types.WordFromUint64(uint64(i))})
+			tr.SetCommitted(types.AMV{})
+		}
+	}()
+	readers := sync.WaitGroup{}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			ref := NewTracker(cfg())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := tr.View(); !ok {
+					t.Error("attached tracker lost its view")
+					return
+				}
+				_ = ref.ViewOf(pool.Pending())
+				_ = tr.Generation()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Steady state: incremental equals from-scratch.
+	got, _ := tr.View()
+	if want := NewTracker(cfg()).ViewOf(pool.Pending()); got != want {
+		t.Fatalf("post-churn views diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestAttachAfterReAdmission seeds a tracker from a pool whose arrival
+// log contains a stale duplicate (remove + re-add of the same hash) and
+// verifies the DAG neither double-counts the entry nor leaves a ghost
+// after the final removal.
+func TestAttachAfterReAdmission(t *testing.T) {
+	pool := txpool.New()
+	set := &types.Transaction{
+		Nonce: 1, From: owner, To: contract, GasPrice: 10, GasLimit: 100,
+		Data: types.EncodeCall(selSet, types.FlagHead, types.ZeroWord, types.WordFromUint64(5)),
+	}
+	if err := pool.Add(set); err != nil {
+		t.Fatal(err)
+	}
+	pool.Remove([]types.Hash{set.Hash()})
+	if err := pool.Add(set); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTracker(cfg())
+	tr.Attach(pool)
+	got, _ := tr.View()
+	if want := NewTracker(cfg()).ViewOf(pool.Pending()); got != want {
+		t.Fatalf("post-re-admission view %+v != from-scratch %+v", got, want)
+	}
+	if got.Depth != 1 {
+		t.Fatalf("depth = %d, want 1", got.Depth)
+	}
+	pool.Remove([]types.Hash{set.Hash()})
+	got, _ = tr.View()
+	if got.Depth != 0 {
+		t.Fatalf("ghost entry survived removal: %+v", got)
+	}
+	if want := NewTracker(cfg()).ViewOf(pool.Pending()); got != want {
+		t.Fatalf("post-removal view %+v != from-scratch %+v", got, want)
+	}
+}
+
+// TestAttachDuringConcurrentChurn attaches a tracker while another
+// goroutine is actively mutating the pool: mutations racing the seed
+// land in the backlog and replay in order, so the tracker converges to
+// the from-scratch view with no ghosts or drops.
+func TestAttachDuringConcurrentChurn(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		pool := txpool.New()
+		ch := newChurner(int64(trial+1), pool)
+		for i := 0; i < 50; i++ {
+			ch.step(types.ZeroWord) // pre-populate
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 200; i++ {
+				ch.step(types.ZeroWord)
+			}
+		}()
+		tr := NewTracker(cfg())
+		tr.Attach(pool) // races the churn goroutine
+		<-done
+		got, ok := tr.View()
+		if !ok {
+			t.Fatal("not attached")
+		}
+		if want := NewTracker(cfg()).ViewOf(pool.Pending()); got != want {
+			t.Fatalf("trial %d: post-churn view %+v != from-scratch %+v", trial, got, want)
+		}
+	}
+}

@@ -200,6 +200,14 @@ type PendingSource interface {
 	Pending() []*types.Transaction
 }
 
+// snapshotter is the optional zero-copy pool view (txpool.Pool's
+// Snapshot): shared, memoized transaction pointers instead of a deep
+// copy per BuildBlock. Strategies treat pending transactions as
+// read-only, so sharing is safe.
+type snapshotter interface {
+	Snapshot() ([]*types.Transaction, uint64)
+}
+
 // Miner builds sealed blocks on top of a chain.
 type Miner struct {
 	chain    *chain.Chain
@@ -227,7 +235,13 @@ func NewMiner(c *chain.Chain, pool PendingSource, strategy Strategy, coinbase ty
 func (m *Miner) BuildBlock(timestamp uint64) (*types.Block, error) {
 	head := m.chain.Head()
 	state := m.chain.State()
-	ordered := m.strategy.Order(m.pool.Pending(), state.GetNonce)
+	var pending []*types.Transaction
+	if s, ok := m.pool.(snapshotter); ok {
+		pending, _ = s.Snapshot()
+	} else {
+		pending = m.pool.Pending()
+	}
+	ordered := m.strategy.Order(pending, state.GetNonce)
 
 	// Trim to the block gas limit using the declared per-tx limits.
 	limit := m.chain.Config().GasLimit

@@ -127,6 +127,9 @@ func New(cfg Config) (*Node, error) {
 			BuySelector: asm.SelBuy,
 			ExtendHeads: cfg.ExtendHeads,
 		})
+		// Bind the tracker to the pool's change feed: views are maintained
+		// under O(Δ) pool deltas instead of recomputed per call.
+		n.tracker.Attach(n.pool)
 		n.refreshCommitted()
 		n.raaSvc = raa.NewService()
 		raa.RegisterHMS(n.raaSvc, n.tracker, n.pool, asm.SelGet, asm.SelMark)
@@ -363,7 +366,9 @@ func (n *Node) NonceAt(addr types.Address) uint64 {
 // committed storage.
 func (n *Node) ViewAMV(caller, contract types.Address) (flag, mark, value types.Word) {
 	if n.mode == ModeSereth && n.tracker != nil {
-		view := n.tracker.ViewOf(n.pool.Pending())
+		// Incremental when attached (cached unless the pool changed),
+		// snapshot recompute otherwise.
+		view := n.tracker.ViewOrSnapshot(n.pool.Pending)
 		// Cross-check through the EVM+RAA path: mark() returns raa[1],
 		// get() returns raa[2]. This keeps the architectural path of the
 		// paper hot; results are identical to the tracker view.

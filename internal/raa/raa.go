@@ -121,12 +121,14 @@ func NewHMSProvider(tracker *hms.Tracker, pool PoolSource) *HMSProvider {
 	return &HMSProvider{tracker: tracker, pool: pool}
 }
 
-// Provide implements Provider.
+// Provide implements Provider. A tracker attached to the node's pool
+// serves its incrementally maintained view (O(1) when the pool is
+// unchanged); otherwise the view is recomputed from a pool snapshot.
 func (h *HMSProvider) Provide(_ types.Address, args []types.Word) ([]types.Word, bool) {
 	if len(args) < 3 {
 		return nil, false
 	}
-	view := h.tracker.ViewOf(h.pool.Pending())
+	view := h.tracker.ViewOrSnapshot(h.pool.Pending)
 	return []types.Word{view.Flag, view.AMV.Mark, view.AMV.Value}, true
 }
 

@@ -39,23 +39,62 @@ func WithCapacity(n int) Option {
 	return func(p *Pool) { p.capacity = n }
 }
 
+// ChangeKind discriminates pool change events.
+type ChangeKind uint8
+
+// Change kinds.
+const (
+	// TxAdded reports a newly admitted transaction.
+	TxAdded ChangeKind = iota + 1
+	// TxRemoved reports a transaction leaving the pool (inclusion,
+	// replacement, staleness or Clear).
+	TxRemoved
+)
+
+// Change is one pool mutation, delivered to watchers in the exact order
+// it was applied.
+type Change struct {
+	Kind ChangeKind
+	// Tx is the pool's internal memoized instance; watchers must treat
+	// it as read-only.
+	Tx *types.Transaction
+	// Gen is the pool generation after this change was applied.
+	Gen uint64
+}
+
 // Pool is a concurrency-safe pending transaction pool.
 type Pool struct {
-	mu       sync.RWMutex
-	all      map[types.Hash]*types.Transaction
-	arrival  []types.Hash // real-time order of admission
-	bySender map[types.Address]map[uint64]types.Hash
-	validate Validator
-	capacity int
-	subs     []func(*types.Transaction)
+	mu      sync.RWMutex
+	all     map[types.Hash]*types.Transaction
+	arrival []types.Hash // real-time order of admission
+	// arrivalIdx maps each live hash to its canonical arrival position: a
+	// transaction removed and re-admitted leaves a stale duplicate in
+	// arrival, and only the entry matching arrivalIdx counts. Without it
+	// Pending/Snapshot would emit the transaction at both positions.
+	arrivalIdx map[types.Hash]int
+	bySender   map[types.Address]map[uint64]types.Hash
+	validate   Validator
+	capacity   int
+	subs       []func(*types.Transaction)
+
+	// gen counts pool mutations; consumers compare generations to detect
+	// staleness without copying the pending set.
+	gen      uint64
+	watchers []func(Change)
+
+	// snap caches the shared arrival-order snapshot for the current
+	// generation so repeated Snapshot calls are allocation-free.
+	snap    []*types.Transaction
+	snapGen uint64
 }
 
 // New returns an empty pool.
 func New(opts ...Option) *Pool {
 	p := &Pool{
-		all:      make(map[types.Hash]*types.Transaction),
-		bySender: make(map[types.Address]map[uint64]types.Hash),
-		capacity: 65536,
+		all:        make(map[types.Hash]*types.Transaction),
+		arrivalIdx: make(map[types.Hash]int),
+		bySender:   make(map[types.Address]map[uint64]types.Hash),
+		capacity:   65536,
 	}
 	for _, opt := range opts {
 		opt(p)
@@ -72,6 +111,75 @@ func (p *Pool) Subscribe(fn func(*types.Transaction)) {
 	p.subs = append(p.subs, fn)
 }
 
+// Watch registers fn to be called synchronously, under the pool lock,
+// for every add and remove, in mutation order. It returns a consistent
+// snapshot of the current pending set (arrival order, shared pointers)
+// and the pool generation it corresponds to, so watchers can initialize
+// their state without missing or double-counting events. Watch must be
+// called before concurrent pool mutation begins. Handlers must be fast
+// and must not call back into the pool.
+func (p *Pool) Watch(fn func(Change)) ([]*types.Transaction, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.watchers = append(p.watchers, fn)
+	return p.snapshotLocked(), p.gen
+}
+
+// Generation returns the pool's mutation counter. Two equal generations
+// bracket an unchanged pending set.
+func (p *Pool) Generation() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.gen
+}
+
+// Snapshot returns the pending transactions in arrival order without
+// copying, plus the generation the snapshot corresponds to. The returned
+// slice and transactions are shared: callers must not mutate them.
+// Repeated calls at an unchanged generation return the same slice; the
+// warm path takes only the read lock so concurrent readers don't
+// serialize.
+func (p *Pool) Snapshot() ([]*types.Transaction, uint64) {
+	p.mu.RLock()
+	if p.snap != nil && p.snapGen == p.gen {
+		snap, gen := p.snap, p.gen
+		p.mu.RUnlock()
+		return snap, gen
+	}
+	p.mu.RUnlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshotLocked(), p.gen
+}
+
+func (p *Pool) snapshotLocked() []*types.Transaction {
+	if p.snap != nil && p.snapGen == p.gen {
+		return p.snap
+	}
+	out := make([]*types.Transaction, 0, len(p.all))
+	for i, h := range p.arrival {
+		if tx, ok := p.all[h]; ok && p.arrivalIdx[h] == i {
+			out = append(out, tx)
+		}
+	}
+	p.snap, p.snapGen = out, p.gen
+	return out
+}
+
+// changedLocked records a mutation and fans it out to watchers while
+// still holding the pool lock, preserving mutation order.
+func (p *Pool) changedLocked(kind ChangeKind, tx *types.Transaction) {
+	p.gen++
+	p.snap = nil // drop the stale cache so it cannot pin evicted txs
+	if len(p.watchers) == 0 {
+		return
+	}
+	c := Change{Kind: kind, Tx: tx, Gen: p.gen}
+	for _, fn := range p.watchers {
+		fn(c)
+	}
+}
+
 // Add admits a transaction. Same-sender same-nonce transactions replace
 // the resident one only at a strictly higher gas price.
 func (p *Pool) Add(tx *types.Transaction) error {
@@ -80,6 +188,10 @@ func (p *Pool) Add(tx *types.Transaction) error {
 			return fmt.Errorf("%w: %v", ErrRejected, err)
 		}
 	}
+	// The pool's instance is private and, once admitted, treated as
+	// immutable. Only the identity hash is computed up front (the
+	// duplicate check needs it); the rest of the derived data is memoized
+	// on the admit path below, so rejected adds don't pay for it.
 	tx = tx.Copy()
 	hash := tx.Hash()
 
@@ -88,26 +200,40 @@ func (p *Pool) Add(tx *types.Transaction) error {
 		p.mu.Unlock()
 		return ErrAlreadyKnown
 	}
-	if len(p.all) >= p.capacity {
-		p.mu.Unlock()
-		return ErrPoolFull
+	var prevHash types.Hash
+	var replacing bool
+	if nonces, ok := p.bySender[tx.From]; ok {
+		prevHash, replacing = nonces[tx.Nonce]
 	}
-	nonces, ok := p.bySender[tx.From]
-	if !ok {
-		nonces = make(map[uint64]types.Hash)
-		p.bySender[tx.From] = nonces
-	}
-	if prevHash, dup := nonces[tx.Nonce]; dup {
+	if replacing {
+		// A price bump swaps a resident tx, so it is admissible even at
+		// capacity.
 		prev := p.all[prevHash]
 		if tx.GasPrice <= prev.GasPrice {
 			p.mu.Unlock()
 			return ErrUnderpriced
 		}
 		p.removeLocked(prevHash)
+	} else if len(p.all) >= p.capacity {
+		p.mu.Unlock()
+		return ErrPoolFull
 	}
+	// Look the nonce map up after the removal above: evicting the
+	// sender's only pending tx drops their map, and writing into the
+	// stale one would orphan the sender from the index.
+	nonces, ok := p.bySender[tx.From]
+	if !ok {
+		nonces = make(map[uint64]types.Hash)
+		p.bySender[tx.From] = nonces
+	}
+	// Admitted: freeze the instance so every later Hash/Selector/FPV/Mark
+	// access (views, mining, gossip) is a cached lookup.
+	tx.MemoizeWithHash(hash)
 	p.all[hash] = tx
+	p.arrivalIdx[hash] = len(p.arrival)
 	p.arrival = append(p.arrival, hash)
 	nonces[tx.Nonce] = hash
+	p.changedLocked(TxAdded, tx)
 	subs := p.subs
 	p.mu.Unlock()
 
@@ -147,8 +273,8 @@ func (p *Pool) Pending() []*types.Transaction {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	out := make([]*types.Transaction, 0, len(p.all))
-	for _, h := range p.arrival {
-		if tx, ok := p.all[h]; ok {
+	for i, h := range p.arrival {
+		if tx, ok := p.all[h]; ok && p.arrivalIdx[h] == i {
 			out = append(out, tx.Copy())
 		}
 	}
@@ -200,12 +326,22 @@ func (p *Pool) RemoveStale(nonceOf func(types.Address) uint64) {
 	}
 }
 
-// Clear empties the pool.
+// Clear empties the pool, notifying watchers of every eviction in
+// arrival order.
 func (p *Pool) Clear() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	arrival := p.arrival
+	p.arrival = nil // detach before removal so compaction cannot touch it
+	for i, h := range arrival {
+		// Skip stale duplicate positions (removed-and-re-admitted hashes)
+		// so evictions fire in canonical arrival order.
+		if idx, ok := p.arrivalIdx[h]; ok && idx == i {
+			p.removeLocked(h)
+		}
+	}
 	p.all = make(map[types.Hash]*types.Transaction)
-	p.arrival = nil
+	p.arrivalIdx = make(map[types.Hash]int)
 	p.bySender = make(map[types.Address]map[uint64]types.Hash)
 }
 
@@ -215,6 +351,8 @@ func (p *Pool) removeLocked(h types.Hash) {
 		return
 	}
 	delete(p.all, h)
+	delete(p.arrivalIdx, h)
+	p.changedLocked(TxRemoved, tx)
 	if nonces, ok := p.bySender[tx.From]; ok {
 		if cur, ok := nonces[tx.Nonce]; ok && cur == h {
 			delete(nonces, tx.Nonce)
@@ -223,12 +361,13 @@ func (p *Pool) removeLocked(h types.Hash) {
 			delete(p.bySender, tx.From)
 		}
 	}
-	// arrival is compacted lazily by Pending(); drop dead hashes when the
-	// slice grows far past the live set.
+	// arrival is compacted lazily; drop dead and superseded entries when
+	// the slice grows far past the live set.
 	if len(p.arrival) > 4*len(p.all)+64 {
 		live := p.arrival[:0]
-		for _, ah := range p.arrival {
-			if _, ok := p.all[ah]; ok {
+		for i, ah := range p.arrival {
+			if _, ok := p.all[ah]; ok && p.arrivalIdx[ah] == i {
+				p.arrivalIdx[ah] = len(live)
 				live = append(live, ah)
 			}
 		}

@@ -304,3 +304,253 @@ func BenchmarkPending1k(b *testing.B) {
 		}
 	}
 }
+
+func TestWatchDeliversOrderedChanges(t *testing.T) {
+	p := New()
+	var log []Change
+	snap, gen := p.Watch(func(c Change) { log = append(log, c) })
+	if len(snap) != 0 || gen != 0 {
+		t.Fatalf("fresh pool snapshot: %d txs gen %d", len(snap), gen)
+	}
+	low := tx(1, 0, 10)
+	high := tx(1, 0, 20) // replaces low: one removal + one add
+	other := tx(2, 0, 10)
+	for _, tr := range []*types.Transaction{low, high, other} {
+		if err := p.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Remove([]types.Hash{other.Hash()})
+
+	wantKinds := []ChangeKind{TxAdded, TxRemoved, TxAdded, TxAdded, TxRemoved}
+	wantHashes := []types.Hash{low.Hash(), low.Hash(), high.Hash(), other.Hash(), other.Hash()}
+	if len(log) != len(wantKinds) {
+		t.Fatalf("got %d changes, want %d", len(log), len(wantKinds))
+	}
+	for i, c := range log {
+		if c.Kind != wantKinds[i] || c.Tx.Hash() != wantHashes[i] {
+			t.Errorf("change %d = kind %d tx %s", i, c.Kind, c.Tx.Hash().Hex())
+		}
+		if c.Gen != uint64(i+1) {
+			t.Errorf("change %d gen = %d", i, c.Gen)
+		}
+	}
+	if p.Generation() != uint64(len(wantKinds)) {
+		t.Errorf("pool generation = %d", p.Generation())
+	}
+}
+
+func TestWatchSeesClear(t *testing.T) {
+	p := New()
+	var removed []types.Hash
+	p.Watch(func(c Change) {
+		if c.Kind == TxRemoved {
+			removed = append(removed, c.Tx.Hash())
+		}
+	})
+	var want []types.Hash
+	for i := 0; i < 5; i++ {
+		tr := tx(1, uint64(i), 10)
+		if err := p.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tr.Hash())
+	}
+	p.Clear()
+	if len(removed) != len(want) {
+		t.Fatalf("clear emitted %d removals, want %d", len(removed), len(want))
+	}
+	for i := range want {
+		if removed[i] != want[i] {
+			t.Errorf("removal %d out of arrival order", i)
+		}
+	}
+}
+
+func TestSnapshotSharedAndCached(t *testing.T) {
+	p := New()
+	for i := 0; i < 4; i++ {
+		if err := p.Add(tx(1, uint64(i), 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, g1 := p.Snapshot()
+	s2, g2 := p.Snapshot()
+	if g1 != g2 || len(s1) != 4 {
+		t.Fatalf("snapshot gen %d/%d len %d", g1, g2, len(s1))
+	}
+	// Unchanged generation: identical backing array, no rebuild.
+	if &s1[0] != &s2[0] {
+		t.Error("unchanged pool rebuilt its snapshot")
+	}
+	if err := p.Add(tx(1, 4, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s3, g3 := p.Snapshot()
+	if g3 == g1 || len(s3) != 5 {
+		t.Fatalf("post-add snapshot gen %d len %d", g3, len(s3))
+	}
+	// The old snapshot is immutable history.
+	if len(s1) != 4 {
+		t.Error("prior snapshot mutated")
+	}
+}
+
+func TestAdmittedTransactionsAreMemoized(t *testing.T) {
+	p := New()
+	t1 := tx(1, 0, 10)
+	if err := p.Add(t1); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := p.Snapshot()
+	if !snap[0].Memoized() {
+		t.Error("pool instance not memoized at admission")
+	}
+	if snap[0].Hash() != t1.Hash() {
+		t.Error("memoized hash mismatch")
+	}
+	// Pending returns mutable copies, so they must NOT carry the frozen
+	// cache: an edited copy has to re-derive its hash.
+	cp := p.Pending()[0]
+	if cp.Memoized() {
+		t.Error("pending copy shares the frozen derived cache")
+	}
+	cp.Data = append(cp.Data, 0xff)
+	if cp.Hash() == t1.Hash() {
+		t.Error("mutated copy kept its old identity hash")
+	}
+}
+
+func TestReplacementKeepsSenderIndexed(t *testing.T) {
+	p := New()
+	low := tx(1, 0, 10)
+	if err := p.Add(low); err != nil {
+		t.Fatal(err)
+	}
+	high := tx(1, 0, 20)
+	if err := p.Add(high); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing the sender's only tx must keep them in the nonce index:
+	// a third same-nonce tx below the resident price is underpriced, and
+	// BySender still sees the sender.
+	mid := tx(1, 0, 15)
+	if err := p.Add(mid); !errors.Is(err, ErrUnderpriced) {
+		t.Fatalf("post-replacement same-nonce add: %v (sender index orphaned)", err)
+	}
+	if got := p.BySender()[addr(1)]; len(got) != 1 || got[0].Hash() != high.Hash() {
+		t.Fatalf("BySender lost the replaced sender: %v", got)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestMutationReleasesSnapshot(t *testing.T) {
+	p := New()
+	if err := p.Add(tx(1, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s1, g1 := p.Snapshot()
+	if len(s1) != 1 {
+		t.Fatal("snapshot missing tx")
+	}
+	p.Clear()
+	// The stale cache must be dropped at mutation time (not at the next
+	// Snapshot call) so evicted transactions aren't pinned in memory.
+	s2, g2 := p.Snapshot()
+	if len(s2) != 0 || g2 == g1 {
+		t.Fatalf("post-clear snapshot len %d gen %d", len(s2), g2)
+	}
+}
+
+func TestReAdmittedTxAppearsOnce(t *testing.T) {
+	p := New()
+	first := tx(1, 0, 10)
+	second := tx(2, 0, 10)
+	for _, tr := range []*types.Transaction{first, second} {
+		if err := p.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove then re-admit the first tx: it must appear exactly once, at
+	// its new (latest) arrival position — not duplicated at the stale one.
+	p.Remove([]types.Hash{first.Hash()})
+	if err := p.Add(first); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	snap, _ := p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot emitted %d txs, want 2 (duplicate arrival leak)", len(snap))
+	}
+	if snap[0].Hash() != second.Hash() || snap[1].Hash() != first.Hash() {
+		t.Error("re-admitted tx not at its latest arrival position")
+	}
+	pend := p.Pending()
+	if len(pend) != 2 || pend[1].Hash() != first.Hash() {
+		t.Errorf("Pending emitted %d txs (duplicate arrival leak)", len(pend))
+	}
+	// Compaction must also keep one canonical entry per live hash.
+	for i := 0; i < 700; i++ {
+		filler := tx(3, uint64(i), 10)
+		if err := p.Add(filler); err != nil {
+			t.Fatal(err)
+		}
+		p.Remove([]types.Hash{filler.Hash()})
+	}
+	if got := p.Pending(); len(got) != 2 {
+		t.Fatalf("post-compaction pending = %d", len(got))
+	}
+}
+
+func TestReplacementAdmittedAtCapacity(t *testing.T) {
+	p := New(WithCapacity(2))
+	low := tx(1, 0, 10)
+	other := tx(2, 0, 10)
+	for _, tr := range []*types.Transaction{low, other} {
+		if err := p.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pool is full, but a price bump swaps a resident tx: admissible.
+	high := tx(1, 0, 20)
+	if err := p.Add(high); err != nil {
+		t.Fatalf("price bump at capacity: %v", err)
+	}
+	if p.Len() != 2 || p.Has(low.Hash()) || !p.Has(high.Hash()) {
+		t.Error("replacement did not swap the resident tx")
+	}
+	// A genuinely new tx is still rejected.
+	if err := p.Add(tx(3, 0, 10)); !errors.Is(err, ErrPoolFull) {
+		t.Errorf("over capacity: %v", err)
+	}
+}
+
+func TestClearEvictsInCanonicalOrder(t *testing.T) {
+	p := New()
+	a, b := tx(1, 0, 10), tx(2, 0, 10)
+	for _, tr := range []*types.Transaction{a, b} {
+		if err := p.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-admit a: canonical pending order is now [b, a], while the raw
+	// arrival log holds a stale duplicate at position 0.
+	p.Remove([]types.Hash{a.Hash()})
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	var removed []types.Hash
+	p.Watch(func(c Change) {
+		if c.Kind == TxRemoved {
+			removed = append(removed, c.Tx.Hash())
+		}
+	})
+	p.Clear()
+	if len(removed) != 2 || removed[0] != b.Hash() || removed[1] != a.Hash() {
+		t.Fatalf("clear order = %v, want canonical [b, a]", removed)
+	}
+}

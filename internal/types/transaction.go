@@ -20,7 +20,59 @@ type Transaction struct {
 	Data     []byte  // calldata: selector ‖ argument words
 	From     Address // sender, bound by the signature
 	Sig      Hash    // deterministic keyed-Keccak signature (see wallet)
+
+	// derived caches immutable per-transaction data (identity hash,
+	// selector, FPV, HMS mark). It is populated by Memoize and dropped by
+	// Copy (copies are mutable); a transaction must not be mutated after
+	// memoization.
+	derived *txDerived
 }
+
+// txDerived holds data computed once from a frozen transaction. All
+// fields are written before the pointer is published and never after,
+// so concurrent readers need no synchronization.
+type txDerived struct {
+	hash   Hash
+	sel    Selector
+	selOK  bool
+	fpv    FPV
+	fpvErr error
+	mark   Word // NextMark(fpv.PrevMark, fpv.Value); zero unless fpvErr == nil
+}
+
+// Memoize computes and caches the transaction's derived data — identity
+// hash, calldata selector, FPV tuple and HMS mark — so later accessors
+// are allocation-free lookups. It freezes the transaction: callers must
+// not mutate any field afterwards. The transaction pool memoizes every
+// transaction at admission; Memoize itself is not safe for concurrent
+// use with other accessors, so call it before sharing the transaction.
+// Returns tx for chaining.
+func (tx *Transaction) Memoize() *Transaction {
+	if tx.derived != nil {
+		return tx
+	}
+	return tx.MemoizeWithHash(tx.computeHash())
+}
+
+// MemoizeWithHash is Memoize for callers that already computed the
+// identity hash (the pool's duplicate check does), saving the second
+// Keccak pass. hash must be tx's true identity hash.
+func (tx *Transaction) MemoizeWithHash(hash Hash) *Transaction {
+	if tx.derived != nil {
+		return tx
+	}
+	d := &txDerived{hash: hash}
+	d.sel, d.selOK = CallSelector(tx.Data)
+	d.fpv, d.fpvErr = DecodeFPV(tx.Data)
+	if d.fpvErr == nil {
+		d.mark = NextMark(d.fpv.PrevMark, d.fpv.Value)
+	}
+	tx.derived = d
+	return tx
+}
+
+// Memoized reports whether the transaction's derived data is cached.
+func (tx *Transaction) Memoized() bool { return tx.derived != nil }
 
 // Errors for transaction decoding.
 var (
@@ -42,8 +94,16 @@ func (tx *Transaction) SigHash() Hash {
 	return Keccak(enc)
 }
 
-// Hash returns the transaction identity hash (content + signature).
+// Hash returns the transaction identity hash (content + signature),
+// cached when the transaction is memoized.
 func (tx *Transaction) Hash() Hash {
+	if d := tx.derived; d != nil {
+		return d.hash
+	}
+	return tx.computeHash()
+}
+
+func (tx *Transaction) computeHash() Hash {
 	return Keccak(rlp.Encode(tx.toItem()))
 }
 
@@ -118,16 +178,47 @@ func copyFixed(it rlp.Item, dst []byte) error {
 	return nil
 }
 
-// FPV extracts the HMS argument tuple from the transaction calldata.
-func (tx *Transaction) FPV() (FPV, error) { return DecodeFPV(tx.Data) }
+// FPV extracts the HMS argument tuple from the transaction calldata,
+// cached when the transaction is memoized.
+func (tx *Transaction) FPV() (FPV, error) {
+	if d := tx.derived; d != nil {
+		return d.fpv, d.fpvErr
+	}
+	return DecodeFPV(tx.Data)
+}
 
-// Selector returns the 4-byte function selector of the calldata.
-func (tx *Transaction) Selector() (Selector, bool) { return CallSelector(tx.Data) }
+// Selector returns the 4-byte function selector of the calldata, cached
+// when the transaction is memoized.
+func (tx *Transaction) Selector() (Selector, bool) {
+	if d := tx.derived; d != nil {
+		return d.sel, d.selOK
+	}
+	return CallSelector(tx.Data)
+}
 
-// Copy returns a deep copy of the transaction.
+// Mark returns the transaction's HMS mark, NextMark(FPV.PrevMark,
+// FPV.Value), cached when the transaction is memoized. ok is false when
+// the calldata does not carry an FPV tuple.
+func (tx *Transaction) Mark() (Word, bool) {
+	if d := tx.derived; d != nil {
+		return d.mark, d.fpvErr == nil
+	}
+	fpv, err := DecodeFPV(tx.Data)
+	if err != nil {
+		return Word{}, false
+	}
+	return NextMark(fpv.PrevMark, fpv.Value), true
+}
+
+// Copy returns a deep, unmemoized copy of the transaction. The derived
+// cache is deliberately not carried over: a copy is mutable (callers
+// edit copies to build replacements), and a shared cache would serve
+// stale hashes after such edits. Hot paths that want cached derived
+// data share the pool's frozen instances via Snapshot instead.
 func (tx *Transaction) Copy() *Transaction {
 	cp := *tx
 	cp.Data = append([]byte{}, tx.Data...)
+	cp.derived = nil
 	return &cp
 }
 

@@ -267,3 +267,69 @@ func TestQuickTxRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMemoizeCachesDerivedData(t *testing.T) {
+	contract := Address{19: 0xcc}
+	sel := SelectorFor("set(bytes32[3])")
+	prev := ZeroWord
+	value := WordFromUint64(42)
+	tx := &Transaction{
+		Nonce: 7, To: contract, GasPrice: 10, GasLimit: 100,
+		Data: EncodeCall(sel, FlagHead, prev, value),
+		From: Address{19: 0x01},
+	}
+	wantHash := tx.Hash()
+	wantFPV, wantErr := tx.FPV()
+	wantMark, wantOK := tx.Mark()
+	if wantErr != nil || !wantOK {
+		t.Fatal("test setup: tx should carry an FPV")
+	}
+	if tx.Memoized() {
+		t.Fatal("fresh tx claims memoization")
+	}
+	tx.Memoize()
+	if !tx.Memoized() {
+		t.Fatal("Memoize did not stick")
+	}
+	if tx.Hash() != wantHash {
+		t.Error("memoized hash differs")
+	}
+	if fpv, err := tx.FPV(); err != nil || fpv != wantFPV {
+		t.Error("memoized FPV differs")
+	}
+	if gotSel, ok := tx.Selector(); !ok || gotSel != sel {
+		t.Error("memoized selector differs")
+	}
+	if mark, ok := tx.Mark(); !ok || mark != wantMark {
+		t.Error("memoized mark differs")
+	}
+	if wantMark != NextMark(prev, value) {
+		t.Error("mark is not the HMS chaining rule")
+	}
+	// Copies are mutable, so they must not inherit the frozen cache.
+	cp := tx.Copy()
+	if cp.Memoized() {
+		t.Error("copy shares the frozen derived cache")
+	}
+	if cp.Hash() != wantHash {
+		t.Error("copy hash differs before mutation")
+	}
+	cp.Data[len(cp.Data)-1] ^= 0xff
+	if cp.Hash() == wantHash {
+		t.Error("mutated copy kept the original hash")
+	}
+}
+
+func TestMarkWithoutFPV(t *testing.T) {
+	tx := &Transaction{To: Address{19: 0xcc}, Data: []byte{1, 2, 3}}
+	if _, ok := tx.Mark(); ok {
+		t.Error("short calldata produced a mark")
+	}
+	tx.Memoize()
+	if _, ok := tx.Mark(); ok {
+		t.Error("memoized short calldata produced a mark")
+	}
+	if _, err := tx.FPV(); err == nil {
+		t.Error("memoized short calldata decoded an FPV")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sereth/internal/p2p"
 	"sereth/internal/sim"
 	"sereth/internal/statedb"
+	"sereth/internal/txpool"
 	"sereth/internal/types"
 	"sereth/internal/wallet"
 )
@@ -94,13 +95,20 @@ type (
 
 // HMS core.
 type (
-	// Tracker computes Hash-Mark-Set views over a pending pool.
+	// Tracker computes Hash-Mark-Set views over a pending pool. Attach it
+	// to a TxPool for incremental O(Δ) view maintenance.
 	Tracker = hms.Tracker
 	// TrackerConfig identifies the managed contract and selectors.
 	TrackerConfig = hms.Config
 	// View is a READ-UNCOMMITTED view of the managed variable.
 	View = hms.View
+	// TxPool is the pending transaction pool with a change feed trackers
+	// subscribe to.
+	TxPool = txpool.Pool
 )
+
+// NewTxPool returns an empty pending transaction pool.
+func NewTxPool() *TxPool { return txpool.New() }
 
 // Experiment harness.
 type (
