@@ -21,6 +21,7 @@ vet:
 bench:
 	$(GO) run ./cmd/serethbench
 
-# bench-eta reproduces the paper's Figure-2/ablation numbers via go test.
+# bench-eta reproduces the paper's Figure-2/ablation numbers via go test
+# (the shared η table in internal/scenarios).
 bench-eta:
-	$(GO) test -run '^$$' -bench 'BenchmarkFigure2|BenchmarkAblation|BenchmarkSequential' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEta|BenchmarkSequential' -benchtime 1x .

@@ -1,49 +1,40 @@
 package sereth
 
-// Benchmark harness: one benchmark per experiment in DESIGN.md §3. Each
-// runs the full simulated-network scenario per iteration and reports the
-// measured transaction efficiency (η, the Figure-2 y-axis) as a custom
-// metric alongside the usual ns/op, so `go test -bench .` regenerates
-// the paper's numbers. Absolute wall times are simulator costs, not
-// blockchain latencies; the η metrics are the reproduction targets.
+// Benchmark harness: one benchmark per experiment in DESIGN.md §3. The
+// η scenario table and the 1000-tx view fixture live in
+// internal/scenarios, shared with cmd/serethbench so BENCH_<date>.json
+// is directly comparable with `go test -bench` output. Each η benchmark
+// runs the full simulated-network scenario per iteration and reports
+// the measured transaction efficiency (η, the Figure-2 y-axis) as a
+// custom metric alongside the usual ns/op. Absolute wall times are
+// simulator costs, not blockchain latencies; the η metrics are the
+// reproduction targets.
 
 import (
 	"testing"
 
+	"sereth/internal/p2p"
+	"sereth/internal/scenarios"
 	"sereth/internal/sim"
-	"sereth/internal/txpool"
 )
 
-func benchScenario(b *testing.B, mk func(int, int64) sim.ScenarioConfig, sets int) {
-	b.Helper()
-	var etaSum float64
-	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(mk(sets, int64(i+1)*101))
-		if err != nil {
-			b.Fatal(err)
-		}
-		etaSum += res.Efficiency()
-	}
-	b.ReportMetric(etaSum/float64(b.N), "eta")
-}
-
-// F2: Figure 2 — the three lines at the sweep's anchor ratios.
-func BenchmarkFigure2(b *testing.B) {
-	scenarios := []struct {
-		name string
-		mk   func(int, int64) sim.ScenarioConfig
-	}{
-		{"geth", sim.GethUnmodified},
-		{"sereth", sim.SerethClient},
-		{"semantic", sim.SemanticMining},
-	}
-	for _, sc := range scenarios {
-		for _, sets := range []int{100, 20, 5} { // ratios 1:1, 5:1, 20:1
-			sc, sets := sc, sets
-			b.Run(sc.name+"/sets-"+itoa(sets), func(b *testing.B) {
-				benchScenario(b, sc.mk, sets)
-			})
-		}
+// BenchmarkEta runs every scenario of the shared η table: the nine
+// Figure-2 cells, the sequential-history check and the four ablations.
+// Sub-benchmark names match the record names in BENCH_<date>.json.
+func BenchmarkEta(b *testing.B) {
+	for _, e := range scenarios.EtaTable() {
+		e := e
+		b.Run(e.Name, func(b *testing.B) {
+			var etaSum float64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(e.Make(int64(i+1) * 101))
+				if err != nil {
+					b.Fatal(err)
+				}
+				etaSum += res.Efficiency()
+			}
+			b.ReportMetric(etaSum/float64(b.N), "eta")
+		})
 	}
 }
 
@@ -63,130 +54,19 @@ func BenchmarkSequentialHistory(b *testing.B) {
 	b.ReportMetric(etaSum/float64(b.N), "eta")
 }
 
-// A1: §V-C ablation — fraction of semantic miners.
-func BenchmarkAblationParticipation(b *testing.B) {
-	for _, fraction := range []float64{0, 0.5, 1} {
-		fraction := fraction
-		b.Run("fraction-"+itoa(int(fraction*100)), func(b *testing.B) {
-			var etaSum float64
-			for i := 0; i < b.N; i++ {
-				cfg := sim.SemanticMining(20, int64(i+1)*101)
-				cfg.SemanticFraction = fraction
-				res, err := sim.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				etaSum += res.Efficiency()
-			}
-			b.ReportMetric(etaSum/float64(b.N), "eta")
-		})
-	}
-}
-
-// A2: §V-C ablation — impeded TxPool gossip among Sereth peers.
-func BenchmarkAblationGossip(b *testing.B) {
-	for _, latency := range []uint64{50, 1000, 5000, 15000} {
-		latency := latency
-		b.Run("latency-"+itoa(int(latency))+"ms", func(b *testing.B) {
-			var etaSum float64
-			for i := 0; i < b.N; i++ {
-				cfg := sim.SerethClient(20, int64(i+1)*101)
-				cfg.GossipLatencyMs = latency
-				res, err := sim.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				etaSum += res.Efficiency()
-			}
-			b.ReportMetric(etaSum/float64(b.N), "eta")
-		})
-	}
-}
-
-// A3: §V-A observation — submit-interval sensitivity at a high ratio.
-func BenchmarkAblationInterval(b *testing.B) {
-	for _, interval := range []uint64{500, 1000, 2000} {
-		interval := interval
-		b.Run("interval-"+itoa(int(interval))+"ms", func(b *testing.B) {
-			var etaSum float64
-			for i := 0; i < b.N; i++ {
-				cfg := sim.GethUnmodified(5, int64(i+1)*101)
-				cfg.SubmitIntervalMs = interval
-				res, err := sim.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				etaSum += res.Efficiency()
-			}
-			b.ReportMetric(etaSum/float64(b.N), "eta")
-		})
-	}
-}
-
-// A4: the HMS head-extension ablation (§V-C: "could approach 100%").
-func BenchmarkAblationExtendHeads(b *testing.B) {
-	for _, ext := range []bool{false, true} {
-		ext := ext
-		name := "baseline"
-		if ext {
-			name = "extended"
-		}
-		b.Run(name, func(b *testing.B) {
-			var etaSum float64
-			for i := 0; i < b.N; i++ {
-				cfg := sim.SemanticMining(50, int64(i+1)*101)
-				cfg.ExtendHeads = ext
-				res, err := sim.Run(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				etaSum += res.Efficiency()
-			}
-			b.ReportMetric(etaSum/float64(b.N), "eta")
-		})
-	}
-}
-
-// benchChainPool admits a 1000-tx chained series into a real pool with
-// an attached incremental tracker, returning both plus the tail tx.
-func benchChainPool(b *testing.B) (*txpool.Pool, *Tracker, *Transaction) {
-	b.Helper()
-	pool := txpool.New()
-	tracker := NewTracker(Address{19: 0xcc})
-	tracker.Attach(pool)
-	prev := Word{}
-	var tail *Transaction
-	for i := 0; i < 1000; i++ {
-		v := WordFromUint64(uint64(i + 1))
-		flag := FlagChain
-		if i == 0 {
-			flag = FlagHead
-		}
-		tail = &Transaction{
-			Nonce: uint64(i), To: Address{19: 0xcc}, GasLimit: 1,
-			Data: EncodeCall(SelSet, flag, prev, v),
-		}
-		if err := pool.Add(tail); err != nil {
-			b.Fatal(err)
-		}
-		prev = NextMark(prev, v)
-	}
-	return pool, tracker, tail
-}
-
 // P1: HMS overhead — Process and Series cost against pool size lives in
 // internal/hms (BenchmarkProcess, BenchmarkSeries). This root-level bench
 // exercises the full client-visible view path on a 1000-tx pool: the
 // incremental tracker absorbs a pool delta (tail removed, view read,
-// tail re-admitted, view read) per iteration — the O(Δ) maintenance the
-// tentpole replaces the per-call full recompute with. The from-scratch
-// path is tracked separately in BenchmarkViewFromScratch.
+// tail re-admitted, view read) per iteration — O(Δ) maintenance instead
+// of a per-call full recompute. The from-scratch path is tracked
+// separately in BenchmarkViewFromScratch.
 func BenchmarkViewLatency(b *testing.B) {
 	cfg := sim.SerethClient(20, 1)
 	if _, err := sim.Run(cfg); err != nil {
 		b.Fatal(err)
 	}
-	pool, tracker, tail := benchChainPool(b)
+	pool, tracker, tail := scenarios.ChainPool(1000)
 	tailHash := tail.Hash()
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -205,13 +85,12 @@ func BenchmarkViewLatency(b *testing.B) {
 	}
 }
 
-// P2: the pre-tentpole baseline — a standalone tracker recomputing the
-// whole view from a pool snapshot per call (kept for the perf
-// trajectory; the memoized marks and iterative longest-path DP speed
-// this up too, but it stays O(pool) per view).
+// P2: the pre-incremental baseline — a standalone tracker recomputing
+// the whole view from a pool snapshot per call (kept for the perf
+// trajectory; it stays O(pool) per view).
 func BenchmarkViewFromScratch(b *testing.B) {
-	pool, _, _ := benchChainPool(b)
-	tracker := NewTracker(Address{19: 0xcc})
+	pool, _, _ := scenarios.ChainPool(1000)
+	tracker := scenarios.NewTracker()
 	snapshot, _ := pool.Snapshot()
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -223,24 +102,60 @@ func BenchmarkViewFromScratch(b *testing.B) {
 	}
 }
 
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
+// G1: gossip cost — one transaction broadcast to a 50-peer full mesh,
+// delivered within the iteration. The batched-envelope engine enqueues
+// ONE shared payload per gossip; the pre-refactor heap enqueued 49
+// copies. allocs/op is the acceptance metric; msgs/s reports end-to-end
+// delivery throughput (49 deliveries per op).
+func BenchmarkBroadcastMesh50(b *testing.B) {
+	net := p2p.NewNetwork(p2p.Config{LatencyMs: 1})
+	for id := 1; id <= 50; id++ {
+		net.Join(p2p.PeerID(id), scenarios.NopPeer{})
 	}
-	neg := n < 0
-	if neg {
-		n = -n
+	tx := (&Transaction{Nonce: 1, GasLimit: 1, Data: []byte{1}}).Memoize()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.BroadcastTx(1, tx)
+		net.AdvanceTo(uint64(i + 1))
 	}
-	var buf [12]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
+	b.StopTimer()
+	sent, _ := net.Stats()
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// G2: the same broadcast relayed across a sparse random-regular graph
+// (multi-hop + duplicate suppression).
+func BenchmarkBroadcastDRegular50(b *testing.B) {
+	net := p2p.NewNetwork(p2p.Config{LatencyMs: 1, Topology: p2p.RandomRegular(6, 1)})
+	for id := 1; id <= 50; id++ {
+		net.Join(p2p.PeerID(id), scenarios.NopPeer{})
 	}
-	if neg {
-		i--
-		buf[i] = '-'
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := (&Transaction{Nonce: uint64(i), GasLimit: 1, Data: []byte{byte(i), byte(i >> 8), byte(i >> 16)}}).Memoize()
+		net.BroadcastTx(1, tx)
+		net.Drain()
 	}
-	return string(buf[i:])
+	b.StopTimer()
+	sent, _ := net.Stats()
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// S1: a full figure2 cell at population scale — 48 miners + 2 clients
+// on a mesh. Run with -benchtime 1x; the η metric must match the
+// serethbench scale records.
+func BenchmarkScaleFigure2Peers50(b *testing.B) {
+	table := scenarios.ScaleTable()
+	e := table[0] // peers-50-mesh
+	var etaSum float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(e.Make(int64(i+1) * 101))
+		if err != nil {
+			b.Fatal(err)
+		}
+		etaSum += res.Efficiency()
+	}
+	b.ReportMetric(etaSum/float64(b.N), "eta")
 }

@@ -1,10 +1,10 @@
 // Command serethbench runs the repository's benchmark suite outside `go
 // test` and writes a dated BENCH_<date>.json with η (the Figure-2
 // y-axis) and ns/op / allocs per scenario, so the performance trajectory
-// is tracked across PRs. The η values use the same fixed seeds as the
-// root bench harness at -benchtime 1x, so they are directly comparable
-// with `go test -bench` output and must stay bit-identical across pure
-// performance work.
+// is tracked across PRs. The η scenario table and view fixtures come
+// from internal/scenarios — the same definitions the root bench harness
+// uses — so the η values match `go test -bench` at -benchtime 1x and
+// must stay bit-identical across pure performance work.
 //
 // Usage:
 //
@@ -20,9 +20,9 @@ import (
 	"testing"
 	"time"
 
-	"sereth/internal/hms"
+	"sereth/internal/p2p"
+	"sereth/internal/scenarios"
 	"sereth/internal/sim"
-	"sereth/internal/txpool"
 	"sereth/internal/types"
 )
 
@@ -34,6 +34,7 @@ type Record struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	Eta         float64 `json:"eta,omitempty"`
 	HasEta      bool    `json:"has_eta"`
+	MsgsPerSec  float64 `json:"msgs_per_sec,omitempty"`
 }
 
 // Report is the serialized BENCH file.
@@ -51,17 +52,25 @@ func main() {
 	var records []Record
 	add := func(r Record) {
 		records = append(records, r)
-		if r.HasEta {
+		switch {
+		case r.HasEta:
 			fmt.Printf("%-48s %12.0f ns/op   eta=%.2f\n", r.Name, r.NsPerOp, r.Eta)
-		} else {
+		case r.MsgsPerSec > 0:
+			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op %12.0f msgs/s\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MsgsPerSec)
+		default:
 			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
 	}
 
-	for _, r := range etaScenarios() {
-		add(r)
+	for _, e := range scenarios.EtaTable() {
+		add(runEta(e))
 	}
+	for _, e := range scenarios.ScaleTable() {
+		add(runEta(e))
+	}
+	add(broadcastMesh50())
 	add(viewLatency())
 	add(viewFromScratch())
 
@@ -83,112 +92,26 @@ func main() {
 	fmt.Println("wrote", *out)
 }
 
-// etaSeed matches the root bench harness at -benchtime 1x: seed (i+1)*101
-// with i = 0.
-const etaSeed = 101
-
-// runEta executes one scenario at the fixed seed, recording wall time
-// and η.
-func runEta(name string, cfg sim.ScenarioConfig) Record {
+// runEta executes one scenario of the shared table at the fixed seed,
+// recording wall time, η and the network message rate.
+func runEta(e scenarios.Eta) Record {
 	start := time.Now()
-	res, err := sim.Run(cfg)
+	res, err := sim.Run(e.Make(scenarios.EtaSeed))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "serethbench: %s: %v\n", name, err)
+		fmt.Fprintf(os.Stderr, "serethbench: %s: %v\n", e.Name, err)
 		os.Exit(1)
 	}
-	return Record{
-		Name:    name,
-		NsPerOp: float64(time.Since(start).Nanoseconds()),
+	elapsed := time.Since(start)
+	rec := Record{
+		Name:    e.Name,
+		NsPerOp: float64(elapsed.Nanoseconds()),
 		Eta:     res.Efficiency(),
 		HasEta:  true,
 	}
-}
-
-func etaScenarios() []Record {
-	var out []Record
-	type mkFn func(int, int64) sim.ScenarioConfig
-	for _, sc := range []struct {
-		name string
-		mk   mkFn
-	}{
-		{"figure2/geth", sim.GethUnmodified},
-		{"figure2/sereth", sim.SerethClient},
-		{"figure2/semantic", sim.SemanticMining},
-	} {
-		for _, sets := range []int{100, 20, 5} {
-			out = append(out, runEta(fmt.Sprintf("%s/sets-%d", sc.name, sets), sc.mk(sets, etaSeed)))
-		}
+	if elapsed > 0 {
+		rec.MsgsPerSec = float64(res.MsgsSent) / elapsed.Seconds()
 	}
-
-	seq, err := sim.SequentialHistory(1)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "serethbench: sequential:", err)
-		os.Exit(1)
-	}
-	out = append(out, Record{Name: "sequential-history", NsPerOp: 0, Eta: seq.Efficiency(), HasEta: true})
-
-	for _, fraction := range []float64{0, 0.5, 1} {
-		cfg := sim.SemanticMining(20, etaSeed)
-		cfg.SemanticFraction = fraction
-		out = append(out, runEta(fmt.Sprintf("ablation/participation/fraction-%d", int(fraction*100)), cfg))
-	}
-	for _, latency := range []uint64{50, 1000, 5000, 15000} {
-		cfg := sim.SerethClient(20, etaSeed)
-		cfg.GossipLatencyMs = latency
-		out = append(out, runEta(fmt.Sprintf("ablation/gossip/latency-%dms", latency), cfg))
-	}
-	for _, interval := range []uint64{500, 1000, 2000} {
-		cfg := sim.GethUnmodified(5, etaSeed)
-		cfg.SubmitIntervalMs = interval
-		out = append(out, runEta(fmt.Sprintf("ablation/interval/interval-%dms", interval), cfg))
-	}
-	for _, ext := range []bool{false, true} {
-		name := "ablation/extendheads/baseline"
-		if ext {
-			name = "ablation/extendheads/extended"
-		}
-		cfg := sim.SemanticMining(50, etaSeed)
-		cfg.ExtendHeads = ext
-		out = append(out, runEta(name, cfg))
-	}
-	return out
-}
-
-var benchContract = types.Address{19: 0xcc}
-
-func newTracker() *hms.Tracker {
-	return hms.NewTracker(hms.Config{
-		Contract:    benchContract,
-		SetSelector: types.SelectorFor("set(bytes32[3])"),
-		BuySelector: types.SelectorFor("buy(bytes32[3])"),
-	})
-}
-
-// chainPool mirrors the root BenchmarkViewLatency fixture: a 1000-tx
-// chained series admitted through a real pool.
-func chainPool() (*txpool.Pool, *hms.Tracker, *types.Transaction) {
-	pool := txpool.New()
-	tracker := newTracker()
-	tracker.Attach(pool)
-	selSet := types.SelectorFor("set(bytes32[3])")
-	prev := types.Word{}
-	var tail *types.Transaction
-	for i := 0; i < 1000; i++ {
-		v := types.WordFromUint64(uint64(i + 1))
-		flag := types.FlagChain
-		if i == 0 {
-			flag = types.FlagHead
-		}
-		tail = &types.Transaction{
-			Nonce: uint64(i), To: benchContract, GasLimit: 1,
-			Data: types.EncodeCall(selSet, flag, prev, v),
-		}
-		if err := pool.Add(tail); err != nil {
-			panic(err)
-		}
-		prev = types.NextMark(prev, v)
-	}
-	return pool, tracker, tail
+	return rec
 }
 
 func benchRecord(name string, res testing.BenchmarkResult) Record {
@@ -200,8 +123,31 @@ func benchRecord(name string, res testing.BenchmarkResult) Record {
 	}
 }
 
+// broadcastMesh50 measures one tx broadcast delivered to a 50-peer full
+// mesh — the batched-gossip acceptance row (one shared envelope per
+// gossip; the pre-refactor heap did 49 copies ≈ 150 allocs/op).
+func broadcastMesh50() Record {
+	net := p2p.NewNetwork(p2p.Config{LatencyMs: 1})
+	for id := 1; id <= 50; id++ {
+		net.Join(p2p.PeerID(id), scenarios.NopPeer{})
+	}
+	tx := (&types.Transaction{Nonce: 1, GasLimit: 1, Data: []byte{1}}).Memoize()
+	tick := uint64(0)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net.BroadcastTx(1, tx)
+			tick++
+			net.AdvanceTo(tick)
+		}
+	})
+	rec := benchRecord("gossip/broadcast-mesh50", res)
+	rec.MsgsPerSec = 49 * float64(time.Second) / float64(res.NsPerOp())
+	return rec
+}
+
 func viewLatency() Record {
-	pool, tracker, tail := chainPool()
+	pool, tracker, tail := scenarios.ChainPool(1000)
 	tailHash := tail.Hash()
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -223,8 +169,8 @@ func viewLatency() Record {
 }
 
 func viewFromScratch() Record {
-	pool, _, _ := chainPool()
-	tracker := newTracker()
+	pool, _, _ := scenarios.ChainPool(1000)
+	tracker := scenarios.NewTracker()
 	snapshot, _ := pool.Snapshot()
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()

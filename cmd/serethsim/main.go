@@ -1,11 +1,15 @@
 // Command serethsim regenerates the paper's experiments on the simulated
 // network: the Figure-2 sweep (transaction efficiency vs buy:set ratio
 // for the three client/miner configurations), the sequential-history
-// sanity check, and the ablations catalogued in DESIGN.md §3.
+// sanity check, the ablations catalogued in DESIGN.md §3, and the
+// sustained-overload mempool-eviction family. The -peers/-clients/
+// -topology/-degree flags rescale every experiment from the paper's
+// 3-peer rig to an N-peer population over an arbitrary gossip graph.
 //
 // Usage:
 //
 //	serethsim -experiment figure2 -runs 10
+//	serethsim -experiment figure2 -peers 50 -clients 2 -topology dregular -degree 6
 //	serethsim -experiment all
 package main
 
@@ -27,26 +31,35 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("serethsim", flag.ContinueOnError)
 	experiment := fs.String("experiment", "figure2",
-		"one of: figure2, sequential, participation, gossip, interval, extendheads, all")
+		"one of: figure2, sequential, participation, gossip, interval, extendheads, overload, all")
 	runs := fs.Int("runs", 10, "seeded runs per data point")
 	quick := fs.Bool("quick", false, "smaller sweep for a fast check")
+	peers := fs.Int("peers", 0, "total peer count (miners + clients); 0 keeps the paper's 3-peer rig")
+	clients := fs.Int("clients", 1, "non-mining client peers (used when -peers is set)")
+	topology := fs.String("topology", "", "gossip topology: mesh (default), ring, dregular")
+	degree := fs.Int("degree", 0, "neighbor degree for -topology dregular")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	seeds := sim.DefaultSeeds(*runs)
+	shape, err := shapeFromFlags(*peers, *clients, *topology, *degree)
+	if err != nil {
+		return err
+	}
 
-	experiments := map[string]func([]int64, bool) error{
+	experiments := map[string]func(sim.Shape, []int64, bool) error{
 		"figure2":       runFigure2,
 		"sequential":    runSequential,
 		"participation": runParticipation,
 		"gossip":        runGossip,
 		"interval":      runInterval,
 		"extendheads":   runExtendHeads,
+		"overload":      runOverload,
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads"} {
+		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads", "overload"} {
 			fmt.Printf("\n=== %s ===\n", name)
-			if err := experiments[name](seeds, *quick); err != nil {
+			if err := experiments[name](shape, seeds, *quick); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
@@ -56,17 +69,40 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-	return fn(seeds, *quick)
+	return fn(shape, seeds, *quick)
 }
 
-func runFigure2(seeds []int64, quick bool) error {
+// shapeFromFlags maps -peers/-clients/-topology/-degree onto a
+// population Shape: the mining peers split evenly between semantic and
+// baseline miners (semantic gets the odd one), so SemanticFraction
+// keeps selecting the producer kind per block.
+func shapeFromFlags(peers, clients int, topology string, degree int) (sim.Shape, error) {
+	sh := sim.Shape{Topology: topology, Degree: degree}
+	if peers == 0 {
+		return sh, nil
+	}
+	if clients <= 0 {
+		clients = 1
+	}
+	miners := peers - clients
+	if miners < 2 {
+		return sim.Shape{}, fmt.Errorf("-peers %d with %d clients leaves %d miners; the sweeps need at least 2 (1 semantic + 1 baseline)",
+			peers, clients, miners)
+	}
+	sh.SemanticMiners = (miners + 1) / 2
+	sh.BaselineMiners = miners / 2
+	sh.Clients = clients
+	return sh, nil
+}
+
+func runFigure2(shape sim.Shape, seeds []int64, quick bool) error {
 	setCounts := sim.Figure2SetCounts
 	if quick {
 		setCounts = []int{50, 10}
 	}
 	points, err := sim.RunFigure2(setCounts, seeds, func(line string) {
 		fmt.Println(line)
-	})
+	}, shape)
 	if err != nil {
 		return err
 	}
@@ -113,9 +149,9 @@ func printFigure2Summary(points []sim.SweepPoint) {
 	}
 }
 
-func runSequential(seeds []int64, _ bool) error {
+func runSequential(shape sim.Shape, seeds []int64, _ bool) error {
 	for _, seed := range seeds {
-		res, err := sim.SequentialHistory(seed)
+		res, err := sim.Run(shape.Apply(sim.SequentialHistoryConfig(seed)))
 		if err != nil {
 			return err
 		}
@@ -125,12 +161,12 @@ func runSequential(seeds []int64, _ bool) error {
 	return nil
 }
 
-func runParticipation(seeds []int64, quick bool) error {
+func runParticipation(shape sim.Shape, seeds []int64, quick bool) error {
 	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
 	if quick {
 		fractions = []float64{0, 1}
 	}
-	points, err := sim.RunParticipation(fractions, seeds, 20)
+	points, err := sim.RunParticipation(fractions, seeds, 20, shape)
 	if err != nil {
 		return err
 	}
@@ -141,12 +177,12 @@ func runParticipation(seeds []int64, quick bool) error {
 	return nil
 }
 
-func runGossip(seeds []int64, quick bool) error {
+func runGossip(shape sim.Shape, seeds []int64, quick bool) error {
 	latencies := []uint64{50, 250, 1000, 5000, 15000}
 	if quick {
 		latencies = []uint64{50, 5000}
 	}
-	points, err := sim.RunGossip(latencies, seeds, 20)
+	points, err := sim.RunGossip(latencies, seeds, 20, shape)
 	if err != nil {
 		return err
 	}
@@ -157,12 +193,12 @@ func runGossip(seeds []int64, quick bool) error {
 	return nil
 }
 
-func runInterval(seeds []int64, quick bool) error {
+func runInterval(shape sim.Shape, seeds []int64, quick bool) error {
 	intervals := []uint64{250, 500, 1000, 2000}
 	if quick {
 		intervals = []uint64{500, 2000}
 	}
-	points, err := sim.RunInterval(intervals, seeds, 5)
+	points, err := sim.RunInterval(intervals, seeds, 5, shape)
 	if err != nil {
 		return err
 	}
@@ -173,14 +209,31 @@ func runInterval(seeds []int64, quick bool) error {
 	return nil
 }
 
-func runExtendHeads(seeds []int64, _ bool) error {
-	points, err := sim.RunExtendHeads(seeds, 50)
+func runExtendHeads(shape sim.Shape, seeds []int64, _ bool) error {
+	points, err := sim.RunExtendHeads(seeds, 50, shape)
 	if err != nil {
 		return err
 	}
 	fmt.Println("HMS head extension vs η (paper §V-C: extension could approach 100%)")
 	for _, p := range points {
 		fmt.Printf("extended=%-5v  η=%.3f ±%.3f\n", p.Extended, p.Eta.Mean, p.Eta.CI90)
+	}
+	return nil
+}
+
+func runOverload(shape sim.Shape, seeds []int64, quick bool) error {
+	intervals := []uint64{1000, 500, 250, 125}
+	if quick {
+		intervals = []uint64{500, 250}
+	}
+	points, err := sim.RunOverload(intervals, seeds, shape)
+	if err != nil {
+		return err
+	}
+	fmt.Println("sustained overload: arrival interval vs η with bounded evict-lowest mempools")
+	for _, p := range points {
+		fmt.Printf("interval=%-5dms  η=%.3f ±%.3f  lost=%.1f%%  evictions=%.0f\n",
+			p.IntervalMs, p.Eta.Mean, p.Eta.CI90, 100*p.LostFrac.Mean, p.Evictions.Mean)
 	}
 	return nil
 }

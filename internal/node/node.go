@@ -70,6 +70,11 @@ type Config struct {
 	// ReorderWindow sets the baseline miner's same-price reordering noise
 	// in transaction positions; negative selects the default.
 	ReorderWindow int
+	// PoolCapacity bounds the pending pool (0 = the pool's default).
+	PoolCapacity int
+	// EvictOnFull selects the pool's evict-lowest overflow policy
+	// instead of rejecting newcomers (overload scenarios).
+	EvictOnFull bool
 }
 
 // Node is one peer: a full validating client, optionally mining.
@@ -86,9 +91,37 @@ type Node struct {
 	mu    sync.Mutex
 	stats Stats
 	// orphans buffers blocks that arrived ahead of a missing parent
-	// (gossip loss); they are retried after every successful import.
-	orphans map[uint64]*types.Block
+	// (gossip loss), with the peer that delivered them; they are retried
+	// after every successful import.
+	orphans map[uint64]orphanEntry
+	// syncFrontier/syncAsked suppress duplicate catch-up requests: at
+	// most one RequestBlocks per distinct sender per gap frontier
+	// (height+1 at request time). Without this, on high-latency
+	// multihop topologies every in-flight response block ahead of the
+	// head spawns its own full-range request and the storm amplifies
+	// quadratically; with it, a request that hit a peer with nothing
+	// still gets retried via the next sender that delivers an orphan.
+	syncFrontier uint64
+	syncAsked    map[p2p.PeerID]struct{}
+	// syncCover is the highest block number the responses to
+	// already-issued requests could still deliver (frontier + response
+	// batch cap). The import-driven retry in drainOrphans stays quiet
+	// while the missing block is under cover — otherwise every imported
+	// batch block would re-request a range that is already in flight.
+	syncCover uint64
 }
+
+// orphanEntry is a buffered ahead-of-head block plus the peer it came
+// from (the catch-up retry target).
+type orphanEntry struct {
+	block *types.Block
+	from  p2p.PeerID
+}
+
+// maxSyncBatch caps the blocks served per catch-up request; requesters
+// use the same constant to reason about what in-flight responses can
+// still deliver.
+const maxSyncBatch = 256
 
 // Stats counts node-level events.
 type Stats struct {
@@ -111,14 +144,21 @@ func New(cfg Config) (*Node, error) {
 		mode:    cfg.Mode,
 		chain:   c,
 		net:     cfg.Network,
-		orphans: make(map[uint64]*types.Block),
+		orphans: make(map[uint64]orphanEntry),
 	}
-	n.pool = txpool.New(txpool.WithValidator(func(tx *types.Transaction) error {
+	poolOpts := []txpool.Option{txpool.WithValidator(func(tx *types.Transaction) error {
 		if cfg.Chain.Registry != nil {
 			return cfg.Chain.Registry.VerifyTx(tx)
 		}
 		return nil
-	}))
+	})}
+	if cfg.PoolCapacity > 0 {
+		poolOpts = append(poolOpts, txpool.WithCapacity(cfg.PoolCapacity))
+	}
+	if cfg.EvictOnFull {
+		poolOpts = append(poolOpts, txpool.WithEvictLowest())
+	}
+	n.pool = txpool.New(poolOpts...)
 
 	if cfg.Mode == ModeSereth {
 		n.tracker = hms.NewTracker(hms.Config{
@@ -185,12 +225,16 @@ func (n *Node) Stats() Stats {
 	return n.stats
 }
 
-// SubmitTx admits a locally-created transaction and gossips it.
+// SubmitTx admits a locally-created transaction and gossips it. The
+// pool's memoized (frozen) instance is what goes on the wire, so the
+// broadcast shares one immutable payload with every recipient instead
+// of copying per peer.
 func (n *Node) SubmitTx(tx *types.Transaction) error {
-	if err := n.pool.Add(tx); err != nil {
+	admitted, err := n.pool.Admit(tx)
+	if err != nil {
 		return fmt.Errorf("node %d submit: %w", n.id, err)
 	}
-	n.net.BroadcastTx(n.id, tx)
+	n.net.BroadcastTx(n.id, admitted)
 	return nil
 }
 
@@ -214,9 +258,12 @@ func (n *Node) HandleBlock(from p2p.PeerID, block *types.Block) {
 	height := n.chain.Height()
 	if block.Number() > height+1 {
 		n.mu.Lock()
-		n.orphans[block.Number()] = block
+		n.orphans[block.Number()] = orphanEntry{block: block, from: from}
+		request := n.markSyncRequestLocked(from, height+1)
 		n.mu.Unlock()
-		n.net.RequestBlocks(n.id, from, height+1)
+		if request {
+			n.net.RequestBlocks(n.id, from, height+1)
+		}
 		return
 	}
 	if n.importBlock(block) {
@@ -225,9 +272,15 @@ func (n *Node) HandleBlock(from p2p.PeerID, block *types.Block) {
 }
 
 // HandleBlockRequest implements p2p.Handler: serve our chain from the
-// requested height so the requester can catch up.
+// requested height so the requester can catch up. Responses are capped
+// per request; a requester still behind after a capped batch re-requests
+// when the next block beyond its sync frontier arrives.
 func (n *Node) HandleBlockRequest(from p2p.PeerID, fromNumber uint64) {
-	for num := fromNumber; num <= n.chain.Height(); num++ {
+	end := n.chain.Height()
+	if fromNumber+maxSyncBatch-1 < end {
+		end = fromNumber + maxSyncBatch - 1
+	}
+	for num := fromNumber; num <= end; num++ {
 		block := n.chain.BlockByNumber(num)
 		if block == nil {
 			return
@@ -236,12 +289,35 @@ func (n *Node) HandleBlockRequest(from p2p.PeerID, fromNumber uint64) {
 	}
 }
 
+// markSyncRequestLocked records a catch-up request intent for the given
+// gap frontier and reports whether the request should actually go out:
+// a new frontier resets the asked-set, and each sender is asked at most
+// once per frontier.
+func (n *Node) markSyncRequestLocked(from p2p.PeerID, frontier uint64) bool {
+	if frontier != n.syncFrontier {
+		n.syncFrontier = frontier
+		n.syncAsked = make(map[p2p.PeerID]struct{}, 2)
+	}
+	if _, asked := n.syncAsked[from]; asked {
+		return false
+	}
+	n.syncAsked[from] = struct{}{}
+	if cover := frontier + maxSyncBatch - 1; cover > n.syncCover {
+		n.syncCover = cover
+	}
+	return true
+}
+
 // drainOrphans retries buffered successors after a successful import.
+// If a gap persists once the buffer is exhausted (the earlier catch-up
+// request hit a peer that had nothing, or the capped response batch
+// fell short), it re-requests the missing range from the peer that
+// delivered the lowest still-buffered orphan.
 func (n *Node) drainOrphans() {
 	for {
 		next := n.chain.Height() + 1
 		n.mu.Lock()
-		block, ok := n.orphans[next]
+		entry, ok := n.orphans[next]
 		if ok {
 			delete(n.orphans, next)
 		}
@@ -251,11 +327,32 @@ func (n *Node) drainOrphans() {
 				delete(n.orphans, num)
 			}
 		}
+		var retryFrom p2p.PeerID
+		retry := false
+		if !ok && len(n.orphans) > 0 {
+			// Retry only when no in-flight response batch can still
+			// deliver the missing block.
+			if next > n.syncCover {
+				lowest := ^uint64(0)
+				for num, e := range n.orphans {
+					if num < lowest {
+						lowest, retryFrom = num, e.from
+					}
+				}
+				retry = n.markSyncRequestLocked(retryFrom, next)
+			}
+		} else if !ok {
+			n.syncCover = 0 // gap fully closed; stale cover must not
+			// suppress the first retry of a future gap
+		}
 		n.mu.Unlock()
 		if !ok {
+			if retry {
+				n.net.RequestBlocks(n.id, retryFrom, next)
+			}
 			return
 		}
-		if !n.importBlock(block) {
+		if !n.importBlock(entry.block) {
 			return
 		}
 	}
@@ -396,10 +493,15 @@ func (n *Node) ViewAMV(caller, contract types.Address) (flag, mark, value types.
 
 // SubmitSet submits a signed set(fpv) transaction from key.
 func (n *Node) SubmitSet(key *wallet.Key, nonce uint64, contract types.Address, flag, prev, value types.Word) (*types.Transaction, error) {
+	return n.SubmitSetPriced(key, nonce, contract, 10, flag, prev, value)
+}
+
+// SubmitSetPriced is SubmitSet with an explicit gas price.
+func (n *Node) SubmitSetPriced(key *wallet.Key, nonce uint64, contract types.Address, gasPrice uint64, flag, prev, value types.Word) (*types.Transaction, error) {
 	tx := key.SignTx(&types.Transaction{
 		Nonce:    nonce,
 		To:       contract,
-		GasPrice: 10,
+		GasPrice: gasPrice,
 		GasLimit: 300_000,
 		Data:     types.EncodeCall(asm.SelSet, flag, prev, value),
 	})
@@ -408,10 +510,16 @@ func (n *Node) SubmitSet(key *wallet.Key, nonce uint64, contract types.Address, 
 
 // SubmitBuy submits a signed buy(offer) transaction from key.
 func (n *Node) SubmitBuy(key *wallet.Key, nonce uint64, contract types.Address, flag, mark, value types.Word) (*types.Transaction, error) {
+	return n.SubmitBuyPriced(key, nonce, contract, 10, flag, mark, value)
+}
+
+// SubmitBuyPriced is SubmitBuy with an explicit gas price (overload
+// scenarios bid against the eviction floor).
+func (n *Node) SubmitBuyPriced(key *wallet.Key, nonce uint64, contract types.Address, gasPrice uint64, flag, mark, value types.Word) (*types.Transaction, error) {
 	tx := key.SignTx(&types.Transaction{
 		Nonce:    nonce,
 		To:       contract,
-		GasPrice: 10,
+		GasPrice: gasPrice,
 		GasLimit: 300_000,
 		Data:     types.EncodeCall(asm.SelBuy, flag, mark, value),
 	})

@@ -1,12 +1,18 @@
 // Package p2p provides an in-process simulated peer network with
-// configurable gossip latency and message loss, driven by a virtual
-// clock. Determinism: given the same seed and event schedule, delivery
-// order is identical across runs, which makes the paper's experiments
-// exactly reproducible (DESIGN.md §4).
+// configurable gossip latency, message loss and topology, driven by a
+// virtual clock. Determinism: given the same seed and event schedule,
+// delivery order is identical across runs, which makes the paper's
+// experiments exactly reproducible (DESIGN.md §4).
+//
+// Scheduling is a bucketed time-wheel keyed by delivery time: every
+// gossip enqueues ONE shared immutable envelope carrying the full
+// recipient set, instead of one heap entry (and one payload copy) per
+// recipient. Messages for each peer are delivered in (time, sequence)
+// order — the per-peer ordered delivery the old global heap provided,
+// without its O(peers × log queue) cost per gossip.
 package p2p
 
 import (
-	"container/heap"
 	"math/rand"
 	"sort"
 	"sync"
@@ -36,86 +42,172 @@ type Config struct {
 	DropRate float64
 	// Seed drives the deterministic loss process.
 	Seed int64
+	// Topology restricts gossip to a neighbor graph. Nil (or any
+	// non-multihop topology) is a full mesh: every broadcast reaches
+	// every other peer directly, with no relaying — the behavior of the
+	// original hub network. Multihop topologies relay gossip hop-by-hop
+	// with per-peer duplicate suppression.
+	Topology Topology
 }
 
-type msgKind int
+// MsgKind discriminates network message types (visible in traces).
+type MsgKind uint8
 
+// Message kinds.
 const (
-	msgTx msgKind = iota + 1
-	msgBlock
-	msgBlockRequest
+	MsgTx MsgKind = iota + 1
+	MsgBlock
+	MsgBlockRequest
 )
 
+func (k MsgKind) String() string {
+	switch k {
+	case MsgTx:
+		return "tx"
+	case MsgBlock:
+		return "block"
+	case MsgBlockRequest:
+		return "blockreq"
+	default:
+		return "unknown"
+	}
+}
+
+// envelope is one scheduled delivery: a single immutable payload shared
+// by every recipient. Broadcast payloads (tx, block) are never copied
+// per recipient — receivers that need ownership copy at pool admission.
 type envelope struct {
 	deliverAt uint64
 	seq       uint64 // tie-break for deterministic ordering
-	kind      msgKind
+	kind      MsgKind
 	from      PeerID
-	to        PeerID
+	to        []PeerID // recipients in ascending id order
 	tx        *types.Transaction
 	block     *types.Block
 	number    uint64
+	relay     bool       // multihop gossip: recipients re-forward on delivery
+	id        types.Hash // payload identity for duplicate suppression (relay only)
 }
 
-type envelopeHeap []*envelope
+// TraceEvent records one delivery, for determinism regression tests.
+type TraceEvent struct {
+	At   uint64 // model time of delivery (ms)
+	Seq  uint64 // envelope sequence number
+	Kind MsgKind
+	From PeerID
+	To   PeerID
+}
 
-func (h envelopeHeap) Len() int { return len(h) }
-func (h envelopeHeap) Less(i, j int) bool {
-	if h[i].deliverAt != h[j].deliverAt {
-		return h[i].deliverAt < h[j].deliverAt
+// seenKey identifies a gossip a peer has already received or originated
+// (multihop duplicate suppression).
+type seenKey struct {
+	peer PeerID
+	kind MsgKind
+	id   types.Hash
+}
+
+// wheelBits sizes the time-wheel; slots alias modulo 2^wheelBits ms and
+// are disambiguated by the exact deliverAt stored on each envelope.
+const (
+	wheelBits = 11
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// peerSet is an immutable snapshot of the joined peers, sorted by id.
+// Join replaces it copy-on-write so deliveries resolve handlers without
+// holding the network lock.
+type peerSet struct {
+	ids   []PeerID
+	hands []Handler
+}
+
+func (ps *peerSet) handler(id PeerID) Handler {
+	i := sort.Search(len(ps.ids), func(i int) bool { return ps.ids[i] >= id })
+	if i < len(ps.ids) && ps.ids[i] == id {
+		return ps.hands[i]
 	}
-	return h[i].seq < h[j].seq
-}
-func (h envelopeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *envelopeHeap) Push(x interface{}) { *h = append(*h, x.(*envelope)) }
-func (h *envelopeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+	return nil
 }
 
-// Network is the simulated hub connecting peers. Safe for concurrent use;
-// experiments typically drive it from one goroutine.
+// Network is the simulated fabric connecting peers. Safe for concurrent
+// use; experiments typically drive it from one goroutine.
 type Network struct {
-	cfg Config
+	cfg  Config
+	topo Topology // nil for the full-mesh fast path
 
-	mu       sync.Mutex
-	handlers map[PeerID]Handler
-	queue    envelopeHeap
-	now      uint64
-	seq      uint64
-	rng      *rand.Rand
-	dropped  uint64
-	sent     uint64
+	mu    sync.Mutex
+	peers *peerSet
+	adj   map[PeerID][]PeerID // multihop adjacency, rebuilt after Join
+	wheel [wheelSize][]*envelope
+	// pending counts scheduled envelopes; nextDue is a lower bound on
+	// the earliest deliverAt while pending > 0.
+	pending int
+	nextDue uint64
+	now     uint64
+	seq     uint64
+	rng     *rand.Rand
+	seen    map[seenKey]struct{}
+	dropped uint64
+	sent    uint64
+	tracer  func(TraceEvent)
 }
 
 // NewNetwork returns an empty network at model time zero.
 func NewNetwork(cfg Config) *Network {
-	return &Network{
-		cfg:      cfg,
-		handlers: make(map[PeerID]Handler),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	n := &Network{
+		cfg:   cfg,
+		peers: &peerSet{},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.Topology != nil && cfg.Topology.Multihop() {
+		n.topo = cfg.Topology
+		n.seen = make(map[seenKey]struct{})
+	}
+	return n
 }
 
-// Join attaches a handler under the given id, replacing any previous one.
+// Trace registers fn to observe every delivery. It must be set before
+// traffic starts and fn must not call back into the network.
+func (n *Network) Trace(fn func(TraceEvent)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = fn
+}
+
+// Join attaches a handler under the given id, replacing any previous
+// one. The sorted peer list is maintained incrementally — broadcasts
+// never re-sort it.
 func (n *Network) Join(id PeerID, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.handlers[id] = h
+	old := n.peers
+	i := sort.Search(len(old.ids), func(i int) bool { return old.ids[i] >= id })
+	ps := &peerSet{
+		ids:   make([]PeerID, 0, len(old.ids)+1),
+		hands: make([]Handler, 0, len(old.ids)+1),
+	}
+	ps.ids = append(ps.ids, old.ids[:i]...)
+	ps.hands = append(ps.hands, old.hands[:i]...)
+	if i < len(old.ids) && old.ids[i] == id { // replace in place
+		ps.ids = append(ps.ids, old.ids[i:]...)
+		ps.hands = append(ps.hands, old.hands[i:]...)
+		ps.hands[i] = h
+	} else {
+		ps.ids = append(append(ps.ids, id), old.ids[i:]...)
+		ps.hands = append(append(ps.hands, h), old.hands[i:]...)
+	}
+	n.peers = ps
+	n.adj = nil // topology adjacency is rebuilt lazily on next gossip
 }
 
 // Peers returns the joined peer ids in ascending order.
 func (n *Network) Peers() []PeerID {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]PeerID, 0, len(n.handlers))
-	for id := range n.handlers {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	ps := n.peers
+	n.mu.Unlock()
+	out := make([]PeerID, len(ps.ids))
+	copy(out, ps.ids)
 	return out
 }
 
@@ -126,71 +218,159 @@ func (n *Network) Now() uint64 {
 	return n.now
 }
 
-// Stats returns (messages enqueued, messages dropped).
+// Stats returns (delivery attempts, deliveries dropped). Each recipient
+// of a broadcast counts as one attempt, as does every relay hop.
 func (n *Network) Stats() (sent, dropped uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.sent, n.dropped
 }
 
-// BroadcastTx gossips a transaction from the given peer to every other
-// peer, arriving after the configured latency.
+// BroadcastTx gossips a transaction from the given peer, arriving after
+// the configured latency. A memoized (pool-admitted) transaction is
+// shared as-is with every recipient; an unmemoized one is copied ONCE
+// and frozen, so the caller keeps ownership of its instance either way.
 func (n *Network) BroadcastTx(from PeerID, tx *types.Transaction) {
-	n.broadcast(from, func(to PeerID) *envelope {
-		return &envelope{kind: msgTx, from: from, to: to, tx: tx.Copy()}
-	})
+	if !tx.Memoized() {
+		tx = tx.Copy().Memoize()
+	}
+	env := &envelope{kind: MsgTx, from: from, tx: tx}
+	if n.topo != nil {
+		env.id = tx.Hash()
+	}
+	n.gossip(env)
 }
 
-// BroadcastBlock gossips a block.
+// BroadcastBlock gossips a block. The block is shared, not copied.
 func (n *Network) BroadcastBlock(from PeerID, block *types.Block) {
-	n.broadcast(from, func(to PeerID) *envelope {
-		return &envelope{kind: msgBlock, from: from, to: to, block: block}
-	})
+	env := &envelope{kind: MsgBlock, from: from, block: block}
+	if n.topo != nil {
+		env.id = block.Hash()
+	}
+	n.gossip(env)
 }
 
 // SendBlock delivers a block to one specific peer (sync responses).
 // Direct sends are never dropped: they model a retried reliable fetch.
 func (n *Network) SendBlock(from, to PeerID, block *types.Block) {
-	n.send(&envelope{kind: msgBlock, from: from, to: to, block: block})
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sent++
+	n.scheduleLocked(&envelope{kind: MsgBlock, from: from, to: []PeerID{to}, block: block})
 }
 
 // RequestBlocks asks one peer for its blocks from fromNumber onward.
 func (n *Network) RequestBlocks(from, to PeerID, fromNumber uint64) {
-	n.send(&envelope{kind: msgBlockRequest, from: from, to: to, number: fromNumber})
-}
-
-func (n *Network) send(env *envelope) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.sent++
-	env.deliverAt = n.now + n.cfg.LatencyMs
-	env.seq = n.seq
-	n.seq++
-	heap.Push(&n.queue, env)
+	n.scheduleLocked(&envelope{kind: MsgBlockRequest, from: from, to: []PeerID{to}, number: fromNumber})
 }
 
-func (n *Network) broadcast(from PeerID, mk func(PeerID) *envelope) {
+// gossip enqueues one shared envelope for the sender's neighbor set
+// (full mesh: everyone else). env.id identifies the payload for
+// multihop duplicate suppression.
+func (n *Network) gossip(env *envelope) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	ids := make([]PeerID, 0, len(n.handlers))
-	for id := range n.handlers {
-		if id != from {
-			ids = append(ids, id)
-		}
+	if n.topo == nil {
+		env.to = n.recipientsLocked(env.from, n.peers.ids, env.kind, nil)
+	} else {
+		n.seen[seenKey{peer: env.from, kind: env.kind, id: env.id}] = struct{}{}
+		env.relay = true
+		env.to = n.recipientsLocked(env.from, n.neighborsLocked(env.from), env.kind, &env.id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, to := range ids {
+	if len(env.to) == 0 {
+		return
+	}
+	n.scheduleLocked(env)
+}
+
+// recipientsLocked filters candidate recipients: the sender itself,
+// deterministic drops, and (multihop) peers that already saw the
+// payload. Drops consume one rng draw per attempted recipient, in
+// ascending id order — the exact stream of the per-recipient heap
+// implementation, so seeded runs stay bit-identical.
+func (n *Network) recipientsLocked(from PeerID, candidates []PeerID, kind MsgKind, seenID *types.Hash) []PeerID {
+	to := make([]PeerID, 0, len(candidates))
+	for _, r := range candidates {
+		if r == from {
+			continue
+		}
+		if seenID != nil {
+			if _, ok := n.seen[seenKey{peer: r, kind: kind, id: *seenID}]; ok {
+				continue
+			}
+		}
 		n.sent++
 		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
 			n.dropped++
 			continue
 		}
-		env := mk(to)
-		env.deliverAt = n.now + n.cfg.LatencyMs
-		env.seq = n.seq
-		n.seq++
-		heap.Push(&n.queue, env)
+		if seenID != nil {
+			n.seen[seenKey{peer: r, kind: kind, id: *seenID}] = struct{}{}
+		}
+		to = append(to, r)
 	}
+	return to
+}
+
+// neighborsLocked returns the sender's neighbor list under the active
+// topology, rebuilding the cached adjacency after membership changes.
+func (n *Network) neighborsLocked(of PeerID) []PeerID {
+	if n.adj == nil {
+		n.adj = n.topo.Build(n.peers.ids)
+	}
+	return n.adj[of]
+}
+
+func (n *Network) scheduleLocked(env *envelope) {
+	env.deliverAt = n.now + n.cfg.LatencyMs
+	env.seq = n.seq
+	n.seq++
+	if n.pending == 0 || env.deliverAt < n.nextDue {
+		n.nextDue = env.deliverAt
+	}
+	n.pending++
+	slot := env.deliverAt & wheelMask
+	n.wheel[slot] = append(n.wheel[slot], env)
+}
+
+// popDueLocked removes and returns the earliest envelope due at or
+// before t, together with its recipients' handlers, advancing model
+// time to its delivery instant. Within one delivery time, envelopes pop
+// in sequence order (wheel buckets are append-ordered).
+func (n *Network) popDueLocked(t uint64) (*envelope, []Handler, bool) {
+	if n.pending == 0 {
+		return nil, nil, false
+	}
+	cursor := n.nextDue
+	if cursor < n.now {
+		cursor = n.now
+	}
+	for ; cursor <= t; cursor++ {
+		slot := n.wheel[cursor&wheelMask]
+		for i, env := range slot {
+			if env.deliverAt != cursor {
+				continue // a later wheel revolution shares this slot
+			}
+			copy(slot[i:], slot[i+1:])
+			slot[len(slot)-1] = nil
+			n.wheel[cursor&wheelMask] = slot[:len(slot)-1]
+			n.pending--
+			n.nextDue = cursor
+			if cursor > n.now {
+				n.now = cursor
+			}
+			hs := make([]Handler, len(env.to))
+			for j, r := range env.to {
+				hs[j] = n.peers.handler(r)
+			}
+			return env, hs, true
+		}
+	}
+	n.nextDue = cursor // every pending envelope is beyond t
+	return nil, nil, false
 }
 
 // AdvanceTo moves model time forward to t (ms), delivering every message
@@ -200,34 +380,17 @@ func (n *Network) broadcast(from PeerID, mk func(PeerID) *envelope) {
 func (n *Network) AdvanceTo(t uint64) {
 	for {
 		n.mu.Lock()
-		if len(n.queue) == 0 || n.queue[0].deliverAt > t {
+		env, hs, ok := n.popDueLocked(t)
+		if !ok {
 			if t > n.now {
 				n.now = t // time only moves forward
 			}
 			n.mu.Unlock()
 			return
 		}
-		env := heap.Pop(&n.queue).(*envelope)
-		if env.deliverAt > n.now {
-			n.now = env.deliverAt
-		}
-		h := n.handlers[env.to]
+		tracer := n.tracer
 		n.mu.Unlock()
-		deliver(h, env)
-	}
-}
-
-func deliver(h Handler, env *envelope) {
-	if h == nil {
-		return
-	}
-	switch env.kind {
-	case msgTx:
-		h.HandleTx(env.from, env.tx)
-	case msgBlock:
-		h.HandleBlock(env.from, env.block)
-	case msgBlockRequest:
-		h.HandleBlockRequest(env.from, env.number)
+		n.deliver(env, hs, tracer)
 	}
 }
 
@@ -236,16 +399,48 @@ func deliver(h Handler, env *envelope) {
 func (n *Network) Drain() {
 	for {
 		n.mu.Lock()
-		if len(n.queue) == 0 {
-			n.mu.Unlock()
+		env, hs, ok := n.popDueLocked(^uint64(0))
+		tracer := n.tracer
+		n.mu.Unlock()
+		if !ok {
 			return
 		}
-		env := heap.Pop(&n.queue).(*envelope)
-		if env.deliverAt > n.now {
-			n.now = env.deliverAt
-		}
-		h := n.handlers[env.to]
-		n.mu.Unlock()
-		deliver(h, env)
+		n.deliver(env, hs, tracer)
 	}
+}
+
+// deliver invokes each recipient's handler in recipient order and, for
+// multihop gossip, forwards the shared payload one hop further.
+func (n *Network) deliver(env *envelope, hs []Handler, tracer func(TraceEvent)) {
+	for i, to := range env.to {
+		if tracer != nil {
+			tracer(TraceEvent{At: env.deliverAt, Seq: env.seq, Kind: env.kind, From: env.from, To: to})
+		}
+		if h := hs[i]; h != nil {
+			switch env.kind {
+			case MsgTx:
+				h.HandleTx(env.from, env.tx)
+			case MsgBlock:
+				h.HandleBlock(env.from, env.block)
+			case MsgBlockRequest:
+				h.HandleBlockRequest(env.from, env.number)
+			}
+		}
+		if env.relay {
+			n.relayFrom(to, env)
+		}
+	}
+}
+
+// relayFrom forwards a multihop gossip from a peer that just received it
+// to that peer's not-yet-reached neighbors.
+func (n *Network) relayFrom(from PeerID, env *envelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fwd := &envelope{kind: env.kind, from: from, tx: env.tx, block: env.block, relay: true, id: env.id}
+	fwd.to = n.recipientsLocked(from, n.neighborsLocked(from), env.kind, &fwd.id)
+	if len(fwd.to) == 0 {
+		return
+	}
+	n.scheduleLocked(fwd)
 }

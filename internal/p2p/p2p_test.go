@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"sync"
 	"testing"
 
 	"sereth/internal/types"
@@ -203,3 +204,249 @@ func TestPeersSorted(t *testing.T) {
 }
 
 func (r *recorder) HandleBlockRequest(PeerID, uint64) {}
+
+func TestJoinReplacesHandler(t *testing.T) {
+	net := NewNetwork(Config{})
+	old, repl, b := &recorder{}, &recorder{}, &recorder{}
+	net.Join(1, old)
+	net.Join(2, b)
+	net.Join(1, repl)
+	if got := net.Peers(); len(got) != 2 {
+		t.Fatalf("peers after replace: %v", got)
+	}
+	net.BroadcastTx(2, sampleTx(1))
+	net.Drain()
+	if len(old.txs) != 0 || len(repl.txs) != 1 {
+		t.Errorf("replaced handler: old=%d new=%d", len(old.txs), len(repl.txs))
+	}
+}
+
+func TestBroadcastSharesMemoizedPayload(t *testing.T) {
+	// A memoized (pool-admitted) transaction is immutable, so the
+	// network must deliver the same instance to every recipient: one
+	// payload per gossip, not one copy per peer.
+	net := NewNetwork(Config{})
+	b, c := &recorder{}, &recorder{}
+	net.Join(1, &recorder{})
+	net.Join(2, b)
+	net.Join(3, c)
+	tx := sampleTx(1).Memoize()
+	net.BroadcastTx(1, tx)
+	net.Drain()
+	if b.txs[0] != tx || c.txs[0] != tx {
+		t.Error("memoized broadcast was copied per recipient")
+	}
+}
+
+func TestLongLatencyWheelWrap(t *testing.T) {
+	// Latency far beyond the wheel size exercises slot aliasing across
+	// revolutions.
+	net := NewNetwork(Config{LatencyMs: 3 * wheelSize})
+	b := &recorder{}
+	net.Join(1, &recorder{})
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(1))
+	net.AdvanceTo(100) // also schedules a second gossip mid-flight
+	net.BroadcastTx(1, sampleTx(2))
+	net.AdvanceTo(3*wheelSize - 1)
+	if len(b.txs) != 0 {
+		t.Fatalf("deliveries before due: %d", len(b.txs))
+	}
+	net.AdvanceTo(3 * wheelSize)
+	if len(b.txs) != 1 {
+		t.Fatalf("deliveries at first due instant: %d", len(b.txs))
+	}
+	net.AdvanceTo(3*wheelSize + 100)
+	if len(b.txs) != 2 {
+		t.Fatalf("deliveries after due: %d", len(b.txs))
+	}
+	if b.txs[0].Nonce != 1 || b.txs[1].Nonce != 2 {
+		t.Errorf("order: %d, %d", b.txs[0].Nonce, b.txs[1].Nonce)
+	}
+}
+
+func TestRingRelayReachesAllOnce(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 10, Topology: Ring()})
+	peers := map[PeerID]*recorder{}
+	for id := PeerID(1); id <= 5; id++ {
+		r := &recorder{}
+		peers[id] = r
+		net.Join(id, r)
+	}
+	net.BroadcastTx(1, sampleTx(7))
+	net.AdvanceTo(10)
+	// One hop: only the ring neighbors of 1.
+	if len(peers[2].txs) != 1 || len(peers[5].txs) != 1 {
+		t.Fatalf("one-hop deliveries: 2=%d 5=%d", len(peers[2].txs), len(peers[5].txs))
+	}
+	if len(peers[3].txs) != 0 || len(peers[4].txs) != 0 {
+		t.Fatal("two-hop peers reached in one hop")
+	}
+	net.AdvanceTo(20)
+	for id := PeerID(2); id <= 5; id++ {
+		if len(peers[id].txs) != 1 {
+			t.Errorf("peer %d received %d copies, want exactly 1", id, len(peers[id].txs))
+		}
+	}
+	if len(peers[1].txs) != 0 {
+		t.Error("origin received its own gossip back")
+	}
+}
+
+func TestRingBlockRelay(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 5, Topology: Ring()})
+	peers := map[PeerID]*recorder{}
+	for id := PeerID(1); id <= 6; id++ {
+		r := &recorder{}
+		peers[id] = r
+		net.Join(id, r)
+	}
+	net.BroadcastBlock(3, &types.Block{Header: &types.Header{Number: 9}})
+	net.Drain()
+	for id, r := range peers {
+		want := 1
+		if id == 3 {
+			want = 0
+		}
+		if len(r.blocks) != want {
+			t.Errorf("peer %d: %d blocks, want %d", id, len(r.blocks), want)
+		}
+	}
+}
+
+func TestRandomRegularReachesAllDeterministically(t *testing.T) {
+	run := func() map[PeerID]int {
+		net := NewNetwork(Config{LatencyMs: 7, Topology: RandomRegular(4, 99)})
+		peers := map[PeerID]*recorder{}
+		for id := PeerID(1); id <= 20; id++ {
+			r := &recorder{}
+			peers[id] = r
+			net.Join(id, r)
+		}
+		net.BroadcastTx(5, sampleTx(1))
+		net.Drain()
+		counts := map[PeerID]int{}
+		for id, r := range peers {
+			counts[id] = len(r.txs)
+		}
+		return counts
+	}
+	a, b := run(), run()
+	for id := PeerID(1); id <= 20; id++ {
+		want := 1
+		if id == 5 {
+			want = 0
+		}
+		if a[id] != want {
+			t.Errorf("peer %d received %d copies, want %d", id, a[id], want)
+		}
+		if a[id] != b[id] {
+			t.Errorf("peer %d: non-deterministic delivery (%d vs %d)", id, a[id], b[id])
+		}
+	}
+}
+
+func TestTopologyAdjacencyShape(t *testing.T) {
+	peers := []PeerID{1, 2, 3, 4, 5, 6, 7, 8}
+	mesh := Mesh().Build(peers)
+	for _, p := range peers {
+		if len(mesh[p]) != len(peers)-1 {
+			t.Fatalf("mesh degree of %d = %d", p, len(mesh[p]))
+		}
+	}
+	ring := Ring().Build(peers)
+	for _, p := range peers {
+		if len(ring[p]) != 2 {
+			t.Fatalf("ring degree of %d = %d", p, len(ring[p]))
+		}
+	}
+	reg := RandomRegular(4, 1).Build(peers)
+	for _, p := range peers {
+		if len(reg[p]) < 2 || len(reg[p]) > 4 {
+			t.Fatalf("dregular degree of %d = %d", p, len(reg[p]))
+		}
+		for _, q := range reg[p] {
+			found := false
+			for _, back := range reg[q] {
+				if back == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", p, q)
+			}
+		}
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	for name, want := range map[string]string{"": "mesh", "mesh": "mesh", "ring": "ring", "dregular": "dregular-4"} {
+		topo, err := ParseTopology(name, 0, 1)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if topo.Name() != want {
+			t.Errorf("%q resolved to %q", name, topo.Name())
+		}
+	}
+	if _, err := ParseTopology("torus", 0, 1); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestTraceRecordsDeliveries(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 4})
+	var trace []TraceEvent
+	net.Trace(func(e TraceEvent) { trace = append(trace, e) })
+	net.Join(1, &recorder{})
+	net.Join(2, &recorder{})
+	net.Join(3, &recorder{})
+	net.BroadcastTx(1, sampleTx(1))
+	net.Drain()
+	if len(trace) != 2 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	if trace[0].To != 2 || trace[1].To != 3 || trace[0].At != 4 || trace[0].Kind != MsgTx {
+		t.Errorf("trace: %+v", trace)
+	}
+}
+
+// TestConcurrentBroadcastAndAdvance exercises the locking under -race:
+// broadcasters, unicast senders and the advancing goroutine run
+// concurrently.
+func TestConcurrentBroadcastAndAdvance(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 2})
+	for id := PeerID(1); id <= 4; id++ {
+		net.Join(id, &orderSink{order: new([]uint64)})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				net.BroadcastTx(PeerID(g+1), sampleTx(uint64(g*1000+i)))
+				if i%50 == 0 {
+					net.BroadcastBlock(PeerID(g+1), &types.Block{Header: &types.Header{Number: uint64(i)}})
+					net.SendBlock(PeerID(g+1), 4, &types.Block{Header: &types.Header{Number: uint64(i)}})
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for tick := uint64(1); tick <= 100; tick++ {
+			net.AdvanceTo(tick)
+			net.Peers()
+			net.Stats()
+		}
+	}()
+	wg.Wait()
+	net.Drain()
+	sent, _ := net.Stats()
+	if sent == 0 {
+		t.Error("no traffic recorded")
+	}
+}

@@ -1,0 +1,155 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Topology defines which peers are direct gossip neighbors. The network
+// rebuilds the adjacency whenever membership changes, so implementations
+// must be pure functions of the (sorted) peer list.
+type Topology interface {
+	Name() string
+	// Build returns each peer's neighbor list, in ascending id order,
+	// for the given ascending peer ids. It must be deterministic.
+	Build(peers []PeerID) map[PeerID][]PeerID
+	// Multihop reports whether gossip is relayed hop-by-hop with
+	// per-peer duplicate suppression. Non-multihop topologies are
+	// treated as a full mesh by the network.
+	Multihop() bool
+}
+
+// Mesh returns the full-mesh topology: every peer is every other peer's
+// neighbor and gossip reaches all of them in one hop (the paper rig).
+func Mesh() Topology { return meshTopo{} }
+
+type meshTopo struct{}
+
+func (meshTopo) Name() string   { return "mesh" }
+func (meshTopo) Multihop() bool { return false }
+func (meshTopo) Build(peers []PeerID) map[PeerID][]PeerID {
+	adj := make(map[PeerID][]PeerID, len(peers))
+	for _, p := range peers {
+		ns := make([]PeerID, 0, len(peers)-1)
+		for _, q := range peers {
+			if q != p {
+				ns = append(ns, q)
+			}
+		}
+		adj[p] = ns
+	}
+	return adj
+}
+
+// Ring returns the ring topology: peers sorted by id, each connected to
+// its predecessor and successor (wrapping). Gossip floods around the
+// ring hop by hop, so worst-case propagation is ⌈n/2⌉ hops.
+func Ring() Topology { return ringTopo{} }
+
+type ringTopo struct{}
+
+func (ringTopo) Name() string   { return "ring" }
+func (ringTopo) Multihop() bool { return true }
+func (ringTopo) Build(peers []PeerID) map[PeerID][]PeerID {
+	adj := make(map[PeerID][]PeerID, len(peers))
+	n := len(peers)
+	if n < 2 {
+		for _, p := range peers {
+			adj[p] = nil
+		}
+		return adj
+	}
+	for i, p := range peers {
+		prev := peers[(i+n-1)%n]
+		next := peers[(i+1)%n]
+		if prev == next { // two peers: a single edge
+			adj[p] = []PeerID{prev}
+			continue
+		}
+		ns := []PeerID{prev, next}
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		adj[p] = ns
+	}
+	return adj
+}
+
+// RandomRegular returns an approximately d-regular random topology: a
+// ring backbone (which guarantees connectivity) plus deterministic
+// random chords until every peer has close to the requested degree.
+// degree is clamped to [2, n-1].
+func RandomRegular(degree int, seed int64) Topology {
+	return &regularTopo{degree: degree, seed: seed}
+}
+
+type regularTopo struct {
+	degree int
+	seed   int64
+}
+
+func (t *regularTopo) Name() string   { return fmt.Sprintf("dregular-%d", t.degree) }
+func (t *regularTopo) Multihop() bool { return true }
+
+func (t *regularTopo) Build(peers []PeerID) map[PeerID][]PeerID {
+	n := len(peers)
+	deg := t.degree
+	if deg < 2 {
+		deg = 2
+	}
+	if deg > n-1 {
+		deg = n - 1
+	}
+	if n < 3 || deg <= 2 {
+		return ringTopo{}.Build(peers)
+	}
+	// Adjacency as index sets over the sorted peer list.
+	neighbors := make([]map[int]bool, n)
+	for i := range neighbors {
+		neighbors[i] = make(map[int]bool, deg)
+	}
+	link := func(i, j int) {
+		neighbors[i][j] = true
+		neighbors[j][i] = true
+	}
+	for i := 0; i < n; i++ {
+		link(i, (i+1)%n)
+	}
+	// Deterministic chord placement; the seed is mixed with the peer
+	// count so adding a peer reshuffles instead of extending.
+	rng := rand.New(rand.NewSource(t.seed ^ int64(n)<<17))
+	for tries := 0; tries < 10*deg*n; tries++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j || neighbors[i][j] || len(neighbors[i]) >= deg || len(neighbors[j]) >= deg {
+			continue
+		}
+		link(i, j)
+	}
+	adj := make(map[PeerID][]PeerID, n)
+	for i, p := range peers {
+		ns := make([]PeerID, 0, len(neighbors[i]))
+		for j := range neighbors[i] {
+			ns = append(ns, peers[j])
+		}
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		adj[p] = ns
+	}
+	return adj
+}
+
+// ParseTopology resolves a topology by name: "mesh" (or empty), "ring",
+// "dregular" (with the given degree and seed).
+func ParseTopology(name string, degree int, seed int64) (Topology, error) {
+	switch name {
+	case "", "mesh":
+		return Mesh(), nil
+	case "ring":
+		return Ring(), nil
+	case "dregular":
+		if degree <= 0 {
+			degree = 4
+		}
+		return RandomRegular(degree, seed), nil
+	default:
+		return nil, fmt.Errorf("p2p: unknown topology %q (want mesh, ring or dregular)", name)
+	}
+}

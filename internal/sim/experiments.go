@@ -2,11 +2,93 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"sereth/internal/metrics"
 )
+
+// Shape overrides a sweep's population and network geometry — the
+// -peers/-clients/-topology knobs of serethsim. Zero fields leave the
+// scenario's own configuration untouched.
+type Shape struct {
+	SemanticMiners int
+	BaselineMiners int
+	Clients        int
+	Topology       string
+	Degree         int
+}
+
+// Apply returns cfg with the non-zero shape fields overridden.
+func (sh Shape) Apply(cfg ScenarioConfig) ScenarioConfig {
+	if sh.SemanticMiners > 0 {
+		cfg.SemanticMiners = sh.SemanticMiners
+	}
+	if sh.BaselineMiners > 0 {
+		cfg.BaselineMiners = sh.BaselineMiners
+	}
+	if sh.Clients > 0 {
+		cfg.Clients = sh.Clients
+	}
+	if sh.Topology != "" {
+		cfg.Topology = sh.Topology
+	}
+	if sh.Degree > 0 {
+		cfg.Degree = sh.Degree
+	}
+	return cfg
+}
+
+// shapeOf folds an optional trailing Shape argument.
+func shapeOf(shape []Shape) Shape {
+	if len(shape) == 0 {
+		return Shape{}
+	}
+	return shape[0]
+}
+
+// runSeeds executes one run per seed on a bounded worker pool. Seeded
+// runs are independent and fully deterministic, so parallelism changes
+// wall time only — results come back in seed order and every aggregate
+// is identical to the sequential sweep. The first error wins.
+func runSeeds(seeds []int64, mk func(seed int64) ScenarioConfig) ([]Result, error) {
+	results := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers <= 1 {
+		for i, seed := range seeds {
+			results[i], errs[i] = Run(mk(seed))
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = Run(mk(seeds[i]))
+				}
+			}()
+		}
+		for i := range seeds {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seeds[i], err)
+		}
+	}
+	return results, nil
+}
 
 // SweepPoint is one (scenario, ratio) cell of an experiment sweep,
 // aggregated over seeds.
@@ -33,18 +115,23 @@ var Figure2Scenarios = []struct {
 var Figure2SetCounts = []int{100, 50, 33, 25, 20, 10, 6, 5}
 
 // RunFigure2 sweeps the three scenarios over the given set counts and
-// seeds, returning one point per (scenario, sets). A nil progress
-// callback is allowed.
-func RunFigure2(setCounts []int, seeds []int64, progress func(string)) ([]SweepPoint, error) {
+// seeds, returning one point per (scenario, sets). Seeds within a cell
+// run in parallel. A nil progress callback is allowed; an optional
+// Shape reconfigures the peer population.
+func RunFigure2(setCounts []int, seeds []int64, progress func(string), shape ...Shape) ([]SweepPoint, error) {
+	sh := shapeOf(shape)
 	var points []SweepPoint
 	for _, sets := range setCounts {
 		for _, sc := range Figure2Scenarios {
+			sets, mk := sets, sc.Make
+			results, err := runSeeds(seeds, func(seed int64) ScenarioConfig {
+				return sh.Apply(mk(sets, seed))
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s sets=%d: %w", sc.Name, sets, err)
+			}
 			var etas, tps []float64
-			for _, seed := range seeds {
-				res, err := Run(sc.Make(sets, seed))
-				if err != nil {
-					return nil, fmt.Errorf("%s sets=%d seed=%d: %w", sc.Name, sets, seed, err)
-				}
+			for _, res := range results {
 				etas = append(etas, res.Efficiency())
 				tps = append(tps, res.StateTps())
 			}
@@ -90,17 +177,22 @@ func FormatSweep(points []SweepPoint) string {
 	return b.String()
 }
 
-// SequentialHistory runs the §V single-sender check: with one address,
-// real-time order = nonce order = block order, so η must be exactly 1.
-// A plain geth client suffices — no remote views are needed when the
-// sender knows its own history.
-func SequentialHistory(seed int64) (Result, error) {
+// SequentialHistoryConfig is the §V single-sender check configuration:
+// with one address, real-time order = nonce order = block order, so η
+// must be exactly 1. A plain geth client suffices — no remote views are
+// needed when the sender knows its own history.
+func SequentialHistoryConfig(seed int64) ScenarioConfig {
 	cfg := Defaults()
 	cfg.Name = "sequential_history"
 	cfg.Seed = seed
 	cfg.Sets = 20
 	cfg.SingleSender = true
-	return Run(cfg)
+	return cfg
+}
+
+// SequentialHistory runs the §V single-sender check.
+func SequentialHistory(seed int64) (Result, error) {
+	return Run(SequentialHistoryConfig(seed))
 }
 
 // ParticipationPoint is one cell of the miner-participation ablation.
@@ -112,21 +204,21 @@ type ParticipationPoint struct {
 // RunParticipation sweeps the fraction of semantic miners (§V-C: "if
 // only a fraction of the miners were assisting... there would still be
 // benefits proportional to the participation").
-func RunParticipation(fractions []float64, seeds []int64, sets int) ([]ParticipationPoint, error) {
+func RunParticipation(fractions []float64, seeds []int64, sets int, shape ...Shape) ([]ParticipationPoint, error) {
+	sh := shapeOf(shape)
 	var out []ParticipationPoint
 	for _, f := range fractions {
-		var etas []float64
-		for _, seed := range seeds {
+		f := f
+		results, err := runSeeds(seeds, func(seed int64) ScenarioConfig {
 			cfg := SemanticMining(sets, seed)
 			cfg.Name = fmt.Sprintf("participation_%.2f", f)
 			cfg.SemanticFraction = f
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			etas = append(etas, res.Efficiency())
+			return sh.Apply(cfg)
+		})
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, ParticipationPoint{Fraction: f, Eta: metrics.Summarize(etas)})
+		out = append(out, ParticipationPoint{Fraction: f, Eta: summarizeEtas(results)})
 	}
 	return out, nil
 }
@@ -140,21 +232,21 @@ type GossipPoint struct {
 // RunGossip sweeps the gossip latency for the sereth_client scenario
 // (§V-C: "if communication of the TxPool were impeded among the Sereth
 // enabled peers... performance would be degraded").
-func RunGossip(latenciesMs []uint64, seeds []int64, sets int) ([]GossipPoint, error) {
+func RunGossip(latenciesMs []uint64, seeds []int64, sets int, shape ...Shape) ([]GossipPoint, error) {
+	sh := shapeOf(shape)
 	var out []GossipPoint
 	for _, lat := range latenciesMs {
-		var etas []float64
-		for _, seed := range seeds {
+		lat := lat
+		results, err := runSeeds(seeds, func(seed int64) ScenarioConfig {
 			cfg := SerethClient(sets, seed)
 			cfg.Name = fmt.Sprintf("gossip_%dms", lat)
 			cfg.GossipLatencyMs = lat
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			etas = append(etas, res.Efficiency())
+			return sh.Apply(cfg)
+		})
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, GossipPoint{LatencyMs: lat, Eta: metrics.Summarize(etas)})
+		out = append(out, GossipPoint{LatencyMs: lat, Eta: summarizeEtas(results)})
 	}
 	return out, nil
 }
@@ -168,21 +260,21 @@ type IntervalPoint struct {
 // RunInterval sweeps the submission interval at a high buy:set ratio
 // (§V-A: "with few state changes transaction efficiency becomes more
 // sensitive to the transaction interval").
-func RunInterval(intervalsMs []uint64, seeds []int64, sets int) ([]IntervalPoint, error) {
+func RunInterval(intervalsMs []uint64, seeds []int64, sets int, shape ...Shape) ([]IntervalPoint, error) {
+	sh := shapeOf(shape)
 	var out []IntervalPoint
 	for _, iv := range intervalsMs {
-		var etas []float64
-		for _, seed := range seeds {
+		iv := iv
+		results, err := runSeeds(seeds, func(seed int64) ScenarioConfig {
 			cfg := GethUnmodified(sets, seed)
 			cfg.Name = fmt.Sprintf("interval_%dms", iv)
 			cfg.SubmitIntervalMs = iv
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			etas = append(etas, res.Efficiency())
+			return sh.Apply(cfg)
+		})
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, IntervalPoint{IntervalMs: iv, Eta: metrics.Summarize(etas)})
+		out = append(out, IntervalPoint{IntervalMs: iv, Eta: summarizeEtas(results)})
 	}
 	return out, nil
 }
@@ -196,23 +288,78 @@ type ExtendHeadsPoint struct {
 // RunExtendHeads compares semantic mining with and without the HMS
 // head-extension that recovers post-publish orphans (the paper's
 // "efficiency could approach 100 percent if HMS were extended", §V-C).
-func RunExtendHeads(seeds []int64, sets int) ([]ExtendHeadsPoint, error) {
+func RunExtendHeads(seeds []int64, sets int, shape ...Shape) ([]ExtendHeadsPoint, error) {
+	sh := shapeOf(shape)
 	var out []ExtendHeadsPoint
 	for _, ext := range []bool{false, true} {
-		var etas []float64
-		for _, seed := range seeds {
+		ext := ext
+		results, err := runSeeds(seeds, func(seed int64) ScenarioConfig {
 			cfg := SemanticMining(sets, seed)
 			cfg.Name = fmt.Sprintf("extendheads_%v", ext)
 			cfg.ExtendHeads = ext
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			etas = append(etas, res.Efficiency())
+			return sh.Apply(cfg)
+		})
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, ExtendHeadsPoint{Extended: ext, Eta: metrics.Summarize(etas)})
+		out = append(out, ExtendHeadsPoint{Extended: ext, Eta: summarizeEtas(results)})
 	}
 	return out, nil
+}
+
+// OverloadPoint is one cell of the sustained-overload sweep.
+type OverloadPoint struct {
+	IntervalMs uint64
+	Eta        metrics.Summary
+	// LostFrac is the share of attempted buys that never made it into
+	// a block: refused by the client's full pool, displaced by
+	// eviction, or still pending when the drain window closed.
+	LostFrac  metrics.Summary
+	Evictions metrics.Summary
+}
+
+// RunOverload sweeps the submission interval below block capacity with
+// bounded evict-lowest mempools: the mempool-eviction scenario family
+// (arrival rate > block capacity, sustained).
+func RunOverload(intervalsMs []uint64, seeds []int64, shape ...Shape) ([]OverloadPoint, error) {
+	sh := shapeOf(shape)
+	var out []OverloadPoint
+	for _, iv := range intervalsMs {
+		iv := iv
+		results, err := runSeeds(seeds, func(seed int64) ScenarioConfig {
+			cfg := Overload(seed)
+			cfg.Name = fmt.Sprintf("overload_%dms", iv)
+			cfg.SubmitIntervalMs = iv
+			return sh.Apply(cfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var etas, lost, evictions []float64
+		for _, res := range results {
+			etas = append(etas, res.Efficiency())
+			attempted := res.BuysSubmitted + res.BuysDropped
+			if attempted > 0 {
+				lost = append(lost, float64(attempted-res.BuysIncluded)/float64(attempted))
+			}
+			evictions = append(evictions, float64(res.Evicted))
+		}
+		out = append(out, OverloadPoint{
+			IntervalMs: iv,
+			Eta:        metrics.Summarize(etas),
+			LostFrac:   metrics.Summarize(lost),
+			Evictions:  metrics.Summarize(evictions),
+		})
+	}
+	return out, nil
+}
+
+func summarizeEtas(results []Result) metrics.Summary {
+	etas := make([]float64, 0, len(results))
+	for _, res := range results {
+		etas = append(etas, res.Efficiency())
+	}
+	return metrics.Summarize(etas)
 }
 
 // DefaultSeeds returns n deterministic experiment seeds.

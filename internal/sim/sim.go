@@ -1,13 +1,16 @@
 // Package sim is the evaluation harness: it reconstructs the paper's
-// experiments (§V) on the simulated network. A scenario builds a small
-// peer topology (two miner peers and a client peer), replays the
-// dynamic-pricing workload — 100 buys at a fixed submit interval with
-// sets evenly spaced over them — and measures transaction efficiency
-// η = succeeded/included over the buys, exactly the quantity Figure 2
-// plots against the buy:set ratio.
+// experiments (§V) on the simulated network. A scenario builds a peer
+// population — by default the paper's 3-peer rig (one semantic miner,
+// one baseline miner, one client), generalizable to N miners and M
+// clients over an arbitrary topology — replays the dynamic-pricing
+// workload, and measures transaction efficiency η = succeeded/included
+// over the buys, exactly the quantity Figure 2 plots against the
+// buy:set ratio. Submissions, block production and network delivery are
+// all driven through one unified event timeline.
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -17,6 +20,7 @@ import (
 	"sereth/internal/node"
 	"sereth/internal/p2p"
 	"sereth/internal/statedb"
+	"sereth/internal/txpool"
 	"sereth/internal/types"
 	"sereth/internal/wallet"
 )
@@ -46,10 +50,31 @@ type ScenarioConfig struct {
 	// in transaction positions (gossip/heap skew); 0 = FIFO.
 	ReorderWindow int
 
+	// Population shape. Zero values select the paper rig: one semantic
+	// miner, one baseline miner, one client peer.
+	SemanticMiners int
+	BaselineMiners int
+	Clients        int
+	// Topology selects the gossip graph: "mesh" (default, one-hop full
+	// mesh), "ring", or "dregular" (random Degree-regular with
+	// multi-hop relay and duplicate suppression).
+	Topology string
+	Degree   int
+
+	// Mempool shape (overload scenarios). PoolCapacity bounds every
+	// node's pending pool; EvictOnFull displaces the oldest
+	// lowest-priced resident instead of rejecting newcomers.
+	PoolCapacity int
+	EvictOnFull  bool
+	// GasPriceSpread > 0 draws each buy's gas price from
+	// [10, 10+spread) so overloaded pools have an eviction gradient;
+	// sets then bid 10+spread to stay resident.
+	GasPriceSpread int
+
 	// Client/miner configuration (the three Figure-2 lines).
 	ClientMode node.Mode
-	// SemanticFraction is the probability each block is produced by the
-	// semantic miner instead of the baseline miner (participation
+	// SemanticFraction is the probability each block is produced by a
+	// semantic miner instead of a baseline miner (participation
 	// ablation; 0 = pure baseline, 1 = pure semantic mining).
 	SemanticFraction float64
 	// ExtendHeads enables the HMS orphan-recovery extension (ablation).
@@ -113,6 +138,25 @@ func SemanticMining(sets int, seed int64) ScenarioConfig {
 	return cfg
 }
 
+// Overload configures the sustained-overload family: submissions arrive
+// at a multiple of block capacity into bounded mempools with the
+// evict-lowest policy, so the run exercises eviction of pending HMS
+// parents — the §V-C orphaning mechanism under resource pressure.
+func Overload(seed int64) ScenarioConfig {
+	cfg := Defaults()
+	cfg.Name = "overload"
+	cfg.Seed = seed
+	cfg.Buys = 200
+	cfg.Sets = 20
+	cfg.SubmitIntervalMs = 250 // 4 tx/s against ~1.2 tx/s block capacity
+	cfg.ClientMode = node.ModeSereth
+	cfg.PoolCapacity = 48
+	cfg.EvictOnFull = true
+	cfg.GasPriceSpread = 10
+	cfg.DrainBlocks = 60
+	return cfg
+}
+
 // Result aggregates one scenario run.
 type Result struct {
 	Config ScenarioConfig
@@ -120,11 +164,21 @@ type Result struct {
 	BuysSubmitted int
 	BuysIncluded  int
 	BuysSucceeded int
+	// BuysDropped counts buys the submitting client's own full pool
+	// refused (overload scenarios).
+	BuysDropped   int
 	SetsSubmitted int
 	SetsIncluded  int
 	SetsSucceeded int
+	SetsDropped   int
 	Blocks        int
 	DurationS     float64
+
+	// Evicted sums evict-lowest displacements across every node's pool.
+	Evicted uint64
+	// MsgsSent / MsgsDropped are network delivery attempts and losses.
+	MsgsSent    uint64
+	MsgsDropped uint64
 }
 
 // Efficiency returns η over the buys, the Figure-2 y-axis.
@@ -187,23 +241,39 @@ type scenario struct {
 	cfg ScenarioConfig
 	rng *rand.Rand
 
-	net         *p2p.Network
-	semanticMin *node.Node
-	baselineMin *node.Node
-	client      *node.Node
+	net      *p2p.Network
+	semantic []*node.Node // semantic-mining peers
+	baseline []*node.Node // baseline-mining peers
+	clients  []*node.Node // non-mining client peers
+	nodes    []*node.Node // all peers
 
 	contract types.Address
 	owner    *wallet.Key
 	buyers   []*wallet.Key
 
-	ownerNonce uint64
-	buyerNonce []uint64
-	ownerMark  types.Word // owner's locally-tracked chain of marks
-	ownerValue types.Word // value of the owner's latest set
-	ownerSets  int
-	buysSent   int
-	buyHashes  map[types.Hash]bool
-	setHashes  map[types.Hash]bool
+	ownerNonce  uint64
+	buyerNonce  []uint64
+	ownerMark   types.Word // owner's locally-tracked chain of marks
+	ownerValue  types.Word // value of the owner's latest set
+	ownerSets   int
+	buysSent    int
+	buysDropped int
+	setsDropped int
+	buyHashes   map[types.Hash]bool
+	setHashes   map[types.Hash]bool
+}
+
+// population resolves the configured peer counts, defaulting to the
+// paper's 3-peer rig when no population is specified.
+func (cfg ScenarioConfig) population() (semantic, baseline, clients int) {
+	semantic, baseline, clients = cfg.SemanticMiners, cfg.BaselineMiners, cfg.Clients
+	if semantic == 0 && baseline == 0 {
+		semantic, baseline = 1, 1
+	}
+	if clients == 0 {
+		clients = 1
+	}
+	return semantic, baseline, clients
 }
 
 func newScenario(cfg ScenarioConfig) (*scenario, error) {
@@ -212,6 +282,16 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 	}
 	if cfg.Buyers <= 0 {
 		cfg.Buyers = 1
+	}
+	nSemantic, nBaseline, nClients := cfg.population()
+	if nSemantic+nBaseline == 0 {
+		return nil, fmt.Errorf("sim: population has no miners")
+	}
+	if cfg.SemanticFraction > 0 && nSemantic == 0 {
+		return nil, fmt.Errorf("sim: semantic fraction %.2f with no semantic miners", cfg.SemanticFraction)
+	}
+	if cfg.SemanticFraction < 1 && nBaseline == 0 {
+		return nil, fmt.Errorf("sim: semantic fraction %.2f needs baseline miners (population has none)", cfg.SemanticFraction)
 	}
 	s := &scenario{
 		cfg:       cfg,
@@ -239,10 +319,15 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 	genesis.SetCode(s.contract, asm.SerethContract())
 	chainCfg := chain.Config{GasLimit: cfg.BlockGasLimit, Registry: reg}
 
+	topo, err := p2p.ParseTopology(cfg.Topology, cfg.Degree, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
 	s.net = p2p.NewNetwork(p2p.Config{
 		LatencyMs: cfg.GossipLatencyMs,
 		DropRate:  cfg.DropRate,
 		Seed:      cfg.Seed + 1,
+		Topology:  topo,
 	})
 
 	mk := func(id p2p.PeerID, mode node.Mode, minerKind node.MinerKind) (*node.Node, error) {
@@ -251,24 +336,43 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 			Contract: s.contract, Chain: chainCfg, Genesis: genesis,
 			Network: s.net, Seed: cfg.Seed + int64(id)*7,
 			ExtendHeads: cfg.ExtendHeads, ReorderWindow: cfg.ReorderWindow,
+			PoolCapacity: cfg.PoolCapacity, EvictOnFull: cfg.EvictOnFull,
 		})
 	}
-	var err error
-	if s.semanticMin, err = mk(1, node.ModeSereth, node.MinerSemantic); err != nil {
-		return nil, err
+	// Peer ids are assigned semantic miners first, then baseline miners,
+	// then clients — the paper rig keeps its historical 1/2/3 layout.
+	id := p2p.PeerID(1)
+	for i := 0; i < nSemantic; i++ {
+		n, err := mk(id, node.ModeSereth, node.MinerSemantic)
+		if err != nil {
+			return nil, err
+		}
+		s.semantic = append(s.semantic, n)
+		id++
 	}
-	if s.baselineMin, err = mk(2, node.ModeGeth, node.MinerBaseline); err != nil {
-		return nil, err
+	for i := 0; i < nBaseline; i++ {
+		n, err := mk(id, node.ModeGeth, node.MinerBaseline)
+		if err != nil {
+			return nil, err
+		}
+		s.baseline = append(s.baseline, n)
+		id++
 	}
-	if s.client, err = mk(3, cfg.ClientMode, node.MinerNone); err != nil {
-		return nil, err
+	for i := 0; i < nClients; i++ {
+		n, err := mk(id, cfg.ClientMode, node.MinerNone)
+		if err != nil {
+			return nil, err
+		}
+		s.clients = append(s.clients, n)
+		id++
 	}
+	s.nodes = append(append(append(s.nodes, s.semantic...), s.baseline...), s.clients...)
 	return s, nil
 }
 
-// schedule builds the merged submission timeline. The opening set
-// happens at t=0 (the market's opening price, §II-F) and the buys start
-// after the first block so they never read the empty genesis state.
+// schedule builds the submission timeline. The opening set happens at
+// t=0 (the market's opening price, §II-F) and the buys start after the
+// first block so they never read the empty genesis state.
 func (s *scenario) schedule() []event {
 	var events []event
 	buyStart := s.cfg.BlockIntervalMs
@@ -286,41 +390,95 @@ func (s *scenario) schedule() []event {
 	return events
 }
 
-func (s *scenario) run() (Result, error) {
-	events := s.schedule()
-	lastSubmit := events[len(events)-1].at
+// timeline merges the submission schedule with the self-rescheduling
+// block source into ONE ordered event stream — the unified scheduler
+// the population engine runs on. A block and a submission due at the
+// same instant mine first (block production wins ties, matching the
+// paper rig). After the submission window closes it keeps emitting up
+// to maxDrain backlog-draining blocks, tagged so the run loop can stop
+// once every pool is empty.
+type timeline struct {
+	subs    []event
+	si      int
+	blockAt uint64
+	lastSub uint64
+	meanGap uint64
 
-	blockTime := s.nextBlockGap()
-	ei := 0
-	// Phase 1: interleave submissions and block production.
-	for ei < len(events) || blockTime <= lastSubmit+s.cfg.BlockIntervalMs {
-		nextEvent := ^uint64(0)
-		if ei < len(events) {
-			nextEvent = events[ei].at
+	drained  int
+	maxDrain int
+	stopped  bool
+}
+
+// drainEvent marks blocks mined in the backlog-drain phase.
+const drainIdx = -2
+
+func (s *scenario) newTimeline() *timeline {
+	subs := s.schedule()
+	return &timeline{
+		subs:     subs,
+		blockAt:  s.nextBlockGap(),
+		lastSub:  subs[len(subs)-1].at,
+		meanGap:  s.cfg.BlockIntervalMs,
+		maxDrain: s.cfg.DrainBlocks,
+	}
+}
+
+// next yields the earliest pending event. Block events do NOT reschedule
+// themselves here: the run loop calls blockMined afterwards, so the rng
+// draw for the next gap happens after the mine draw — the exact stream
+// order of the original two-timeline loop.
+func (tl *timeline) next() (event, bool) {
+	if tl.stopped {
+		return event{}, false
+	}
+	if tl.si < len(tl.subs) || tl.blockAt <= tl.lastSub+tl.meanGap {
+		nextSub := ^uint64(0)
+		if tl.si < len(tl.subs) {
+			nextSub = tl.subs[tl.si].at
 		}
-		if blockTime <= nextEvent {
-			s.net.AdvanceTo(blockTime)
-			if err := s.mine(blockTime); err != nil {
+		if tl.blockAt <= nextSub {
+			return event{at: tl.blockAt, kind: evBlock}, true
+		}
+		sub := tl.subs[tl.si]
+		tl.si++
+		return sub, true
+	}
+	if tl.drained >= tl.maxDrain {
+		return event{}, false
+	}
+	tl.drained++
+	return event{at: tl.blockAt, kind: evBlock, idx: drainIdx}, true
+}
+
+// blockMined reschedules the block source after a block was produced.
+func (tl *timeline) blockMined(nextGap uint64) {
+	tl.blockAt += nextGap
+}
+
+func (tl *timeline) stop() { tl.stopped = true }
+
+// run drives the scenario: every submission, block and network delivery
+// advances through the unified timeline's single clock.
+func (s *scenario) run() (Result, error) {
+	tl := s.newTimeline()
+	for {
+		ev, ok := tl.next()
+		if !ok {
+			break
+		}
+		s.net.AdvanceTo(ev.at)
+		if ev.kind == evBlock {
+			if err := s.mine(ev.at); err != nil {
 				return Result{}, err
 			}
-			blockTime += s.nextBlockGap()
+			tl.blockMined(s.nextBlockGap())
+			if ev.idx == drainIdx && s.poolsEmpty() {
+				tl.stop()
+			}
 			continue
 		}
-		s.net.AdvanceTo(nextEvent)
-		if err := s.dispatch(events[ei]); err != nil {
+		if err := s.dispatch(ev); err != nil {
 			return Result{}, err
-		}
-		ei++
-	}
-	// Phase 2: drain the backlog.
-	for i := 0; i < s.cfg.DrainBlocks; i++ {
-		s.net.AdvanceTo(blockTime)
-		if err := s.mine(blockTime); err != nil {
-			return Result{}, err
-		}
-		blockTime += s.nextBlockGap()
-		if s.poolsEmpty() {
-			break
 		}
 	}
 	s.net.Drain()
@@ -328,9 +486,12 @@ func (s *scenario) run() (Result, error) {
 }
 
 func (s *scenario) poolsEmpty() bool {
-	return s.semanticMin.Pool().Len() == 0 &&
-		s.baselineMin.Pool().Len() == 0 &&
-		s.client.Pool().Len() == 0
+	for _, n := range s.nodes {
+		if n.Pool().Len() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // nextBlockGap draws the time to the next block: exponential with the
@@ -351,11 +512,21 @@ func (s *scenario) nextBlockGap() uint64 {
 	return uint64(gap)
 }
 
-// mine picks the block producer per the semantic participation fraction.
+// mine picks the block producer per the semantic participation fraction;
+// with several miners of the chosen kind the producer is drawn uniformly
+// (single-miner pools consume no extra randomness, keeping the paper
+// rig's rng stream bit-identical).
 func (s *scenario) mine(at uint64) error {
-	producer := s.baselineMin
+	// newScenario validates that the drawn kind always has miners:
+	// fraction > 0 implies semantic miners exist, fraction < 1 implies
+	// baseline miners exist (Float64() < 1 always holds at fraction 1).
+	pool := s.baseline
 	if s.cfg.SemanticFraction > 0 && s.rng.Float64() < s.cfg.SemanticFraction {
-		producer = s.semanticMin
+		pool = s.semantic
+	}
+	producer := pool[0]
+	if len(pool) > 1 {
+		producer = pool[s.rng.Intn(len(pool))]
 	}
 	_, err := producer.MineAndBroadcast(at / 1000)
 	return err
@@ -372,19 +543,30 @@ func (s *scenario) dispatch(ev event) error {
 	}
 }
 
-// submitSet issues the owner's next price change. The owner tracks its
-// own mark chain locally (its transactions are sequentially consistent
-// from its own thread, §II-C), so sets never need a remote view and all
-// of them succeed — matching §V-A.
+// submitSet issues the owner's next price change through the primary
+// client. The owner tracks its own mark chain locally (its transactions
+// are sequentially consistent from its own thread, §II-C), so sets never
+// need a remote view and all of them succeed — matching §V-A. Under
+// GasPriceSpread the set bids above the buy band so overloaded pools do
+// not evict the price authority.
 func (s *scenario) submitSet() error {
+	client := s.clients[0]
 	price := types.WordFromUint64(uint64(10 + s.rng.Intn(90)))
-	committedMark := s.client.StorageAt(s.contract, asm.SlotMark)
+	committedMark := client.StorageAt(s.contract, asm.SlotMark)
 	flag := types.FlagChain
 	if s.ownerMark == committedMark {
 		flag = types.FlagHead
 	}
-	tx, err := s.client.SubmitSet(s.owner, s.ownerNonce, s.contract, flag, s.ownerMark, price)
+	gasPrice := uint64(10)
+	if s.cfg.GasPriceSpread > 0 {
+		gasPrice = 10 + uint64(s.cfg.GasPriceSpread)
+	}
+	tx, err := client.SubmitSetPriced(s.owner, s.ownerNonce, s.contract, gasPrice, flag, s.ownerMark, price)
 	if err != nil {
+		if errors.Is(err, txpool.ErrPoolFull) {
+			s.setsDropped++
+			return nil
+		}
 		return fmt.Errorf("submit set %d: %w", s.ownerSets, err)
 	}
 	s.ownerNonce++
@@ -395,12 +577,14 @@ func (s *scenario) submitSet() error {
 	return nil
 }
 
-// submitBuy issues a buy from the next buyer using the client node's best
-// view: committed storage on a Geth client, the RAA/HMS READ-UNCOMMITTED
-// view on a Sereth client.
+// submitBuy issues a buy from the next buyer using their client node's
+// best view: committed storage on a Geth client, the RAA/HMS
+// READ-UNCOMMITTED view on a Sereth client. Buyers round-robin over the
+// client peers.
 func (s *scenario) submitBuy(i int) error {
 	buyerIdx := i % len(s.buyers)
 	key := s.buyers[buyerIdx]
+	client := s.clients[buyerIdx%len(s.clients)]
 
 	var flag, mark, value types.Word
 	var nonce uint64
@@ -410,29 +594,49 @@ func (s *scenario) submitBuy(i int) error {
 		// locally-tracked (mark, value) is always exact.
 		flag, mark, value = types.FlagChain, s.ownerMark, s.ownerValue
 		nonce = s.ownerNonce
+	} else {
+		flag, mark, value = client.ViewAMV(key.Address(), s.contract)
+		nonce = s.buyerNonce[buyerIdx]
+	}
+	gasPrice := uint64(10)
+	if s.cfg.GasPriceSpread > 0 {
+		gasPrice += uint64(s.rng.Intn(s.cfg.GasPriceSpread))
+	}
+	tx, err := client.SubmitBuyPriced(key, nonce, s.contract, gasPrice, flag, mark, value)
+	if err != nil {
+		// A refused buy never existed anywhere, so its nonce must NOT be
+		// consumed — a burned nonce would gap the sender's sequence and
+		// make every later buy from this buyer unminable.
+		if errors.Is(err, txpool.ErrPoolFull) {
+			s.buysDropped++
+			return nil
+		}
+		return fmt.Errorf("submit buy %d: %w", i, err)
+	}
+	if s.cfg.SingleSender {
 		s.ownerNonce++
 	} else {
-		flag, mark, value = s.client.ViewAMV(key.Address(), s.contract)
-		nonce = s.buyerNonce[buyerIdx]
 		s.buyerNonce[buyerIdx]++
-	}
-	tx, err := s.client.SubmitBuy(key, nonce, s.contract, flag, mark, value)
-	if err != nil {
-		return fmt.Errorf("submit buy %d: %w", i, err)
 	}
 	s.buysSent++
 	s.buyHashes[tx.Hash()] = true
 	return nil
 }
 
-// collect walks the client's chain and classifies every receipt.
+// collect walks the primary client's chain and classifies every receipt.
 func (s *scenario) collect() (Result, error) {
 	res := Result{
 		Config:        s.cfg,
 		BuysSubmitted: s.buysSent,
+		BuysDropped:   s.buysDropped,
 		SetsSubmitted: s.ownerSets,
+		SetsDropped:   s.setsDropped,
 	}
-	c := s.client.Chain()
+	res.MsgsSent, res.MsgsDropped = s.net.Stats()
+	for _, n := range s.nodes {
+		res.Evicted += n.Pool().Evicted()
+	}
+	c := s.clients[0].Chain()
 	res.Blocks = int(c.Height())
 	var lastTime uint64
 	for n := uint64(1); n <= c.Height(); n++ {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sereth/internal/node"
+	"sereth/internal/p2p"
 )
 
 // fast returns a reduced workload for unit-test speed; the statistical
@@ -246,5 +247,247 @@ func TestClientModesWired(t *testing.T) {
 	cfg := SemanticMining(5, 1)
 	if cfg.ClientMode != node.ModeSereth || cfg.SemanticFraction != 1 {
 		t.Error("semantic scenario config")
+	}
+}
+
+// TestEtaGoldenSeed101 pins η at seed 101 to the values recorded by the
+// pre-refactor engine (BENCH_2026-07-28.json, PR 1): the network and
+// scheduler refactor must keep the default 3-peer topology bit-identical.
+func TestEtaGoldenSeed101(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(int, int64) ScenarioConfig
+		sets int
+		want float64
+	}{
+		{"geth/sets-20", GethUnmodified, 20, 0},
+		{"geth/sets-5", GethUnmodified, 5, 0.09},
+		{"sereth/sets-20", SerethClient, 20, 0.36},
+		{"sereth/sets-5", SerethClient, 5, 0.64},
+		{"semantic/sets-20", SemanticMining, 20, 0.68},
+		{"semantic/sets-5", SemanticMining, 5, 0.88},
+	}
+	for _, tc := range cases {
+		res, err := Run(tc.mk(tc.sets, 101))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Efficiency() != tc.want {
+			t.Errorf("%s: η = %v, want exactly %v", tc.name, res.Efficiency(), tc.want)
+		}
+	}
+}
+
+// TestDeliveryTraceDeterministic replays the same seeded scenario twice
+// and requires identical network delivery traces and η — the regression
+// gate for the time-wheel scheduler and batched gossip.
+func TestDeliveryTraceDeterministic(t *testing.T) {
+	for _, topo := range []string{"mesh", "ring"} {
+		run := func() ([]p2p.TraceEvent, float64) {
+			cfg := fast(SerethClient(10, 42))
+			cfg.Topology = topo
+			s, err := newScenario(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var trace []p2p.TraceEvent
+			s.net.Trace(func(e p2p.TraceEvent) { trace = append(trace, e) })
+			res, err := s.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return trace, res.Efficiency()
+		}
+		ta, ea := run()
+		tb, eb := run()
+		if ea != eb {
+			t.Fatalf("%s: η differs across identical runs: %v vs %v", topo, ea, eb)
+		}
+		if len(ta) == 0 || len(ta) != len(tb) {
+			t.Fatalf("%s: trace lengths %d vs %d", topo, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatalf("%s: delivery %d differs: %+v vs %+v", topo, i, ta[i], tb[i])
+			}
+		}
+	}
+}
+
+// TestPopulationScalesToNPeers runs a figure2 cell on a 12-peer mesh and
+// on sparse topologies: every scenario invariant must hold at population
+// scale.
+func TestPopulationScalesToNPeers(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		topology string
+		degree   int
+	}{
+		{"mesh-12", "mesh", 0},
+		{"ring-12", "ring", 0},
+		{"dregular-12", "dregular", 4},
+	} {
+		cfg := fast(SerethClient(10, 7))
+		cfg.SemanticMiners = 4
+		cfg.BaselineMiners = 5
+		cfg.Clients = 3
+		cfg.Topology = tc.topology
+		cfg.Degree = tc.degree
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.BuysIncluded != res.BuysSubmitted {
+			t.Errorf("%s: included %d of %d buys (population failed to drain)",
+				tc.name, res.BuysIncluded, res.BuysSubmitted)
+		}
+		if res.SetEfficiency() != 1.0 {
+			t.Errorf("%s: set efficiency %.3f", tc.name, res.SetEfficiency())
+		}
+		if res.MsgsSent == 0 {
+			t.Errorf("%s: no network traffic recorded", tc.name)
+		}
+	}
+}
+
+// TestMultiMinerDeterministic checks that the uniform producer draw over
+// multi-miner pools is seed-stable.
+func TestMultiMinerDeterministic(t *testing.T) {
+	mk := func() ScenarioConfig {
+		cfg := fast(SemanticMining(10, 31))
+		cfg.SemanticMiners = 3
+		cfg.BaselineMiners = 2
+		return cfg
+	}
+	a, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BuysSucceeded != b.BuysSucceeded || a.Blocks != b.Blocks {
+		t.Error("multi-miner population not deterministic under seed")
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	cfg := Defaults()
+	cfg.SemanticMiners = 0
+	cfg.BaselineMiners = 2
+	cfg.SemanticFraction = 0.5
+	if _, err := Run(cfg); err == nil {
+		t.Error("semantic fraction without semantic miners accepted")
+	}
+	cfg = Defaults()
+	cfg.Topology = "torus"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+// TestOverloadEvicts runs the sustained-overload family: arrival rate
+// above block capacity against bounded evict-lowest mempools must
+// displace pending transactions while the run still completes and
+// accounts consistently.
+func TestOverloadEvicts(t *testing.T) {
+	cfg := Overload(3)
+	cfg.Buys = 120
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted == 0 {
+		t.Error("overload run displaced nothing — eviction not exercised")
+	}
+	if res.BuysIncluded > res.BuysSubmitted {
+		t.Error("included more buys than submitted")
+	}
+	if res.BuysSubmitted+res.BuysDropped != 120 {
+		t.Errorf("attempt accounting: submitted %d + dropped %d != 120",
+			res.BuysSubmitted, res.BuysDropped)
+	}
+	if res.Blocks == 0 {
+		t.Error("no blocks mined under overload")
+	}
+}
+
+// TestRunOverloadSweep smoke-tests the experiment aggregation.
+func TestRunOverloadSweep(t *testing.T) {
+	points, err := RunOverload([]uint64{500}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].IntervalMs != 500 {
+		t.Fatalf("points: %+v", points)
+	}
+	if points[0].Evictions.Mean <= 0 {
+		t.Error("sweep recorded no evictions")
+	}
+}
+
+// TestParallelSweepMatchesSequential verifies the worker-pool sweep is
+// numerically identical to running the seeds one by one.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	seeds := DefaultSeeds(4)
+	points, err := RunFigure2([]int{10}, seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		var mk func(int, int64) ScenarioConfig
+		for _, sc := range Figure2Scenarios {
+			if sc.Name == p.Scenario {
+				mk = sc.Make
+			}
+		}
+		var sum float64
+		for _, seed := range seeds {
+			res, err := Run(mk(10, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Efficiency()
+		}
+		if mean := sum / float64(len(seeds)); mean != p.Eta.Mean {
+			t.Errorf("%s: parallel mean %v != sequential %v", p.Scenario, p.Eta.Mean, mean)
+		}
+	}
+}
+
+// TestShapeApply checks the population override plumbing.
+func TestShapeApply(t *testing.T) {
+	sh := Shape{SemanticMiners: 3, Clients: 2, Topology: "ring"}
+	cfg := sh.Apply(SerethClient(10, 1))
+	if cfg.SemanticMiners != 3 || cfg.Clients != 2 || cfg.Topology != "ring" {
+		t.Errorf("shape not applied: %+v", cfg)
+	}
+	if cfg.BaselineMiners != 0 {
+		t.Error("unset shape field overrode config")
+	}
+}
+
+// TestHighLatencyRingConverges pins the catch-up storm fix: on a ring
+// where per-hop latency exceeds the block interval, every in-flight
+// sync response used to spawn its own full-range block request and the
+// run diverged (>10^6 messages). With the sync frontier dedup the run
+// must complete with bounded traffic.
+func TestHighLatencyRingConverges(t *testing.T) {
+	cfg := fast(SerethClient(10, 101))
+	cfg.GossipLatencyMs = 5000
+	cfg.SemanticMiners = 4
+	cfg.BaselineMiners = 3
+	cfg.Clients = 2
+	cfg.Topology = "ring"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MsgsSent > 20000 {
+		t.Errorf("catch-up storm: %d messages for a 40-buy run", res.MsgsSent)
+	}
+	if res.Blocks == 0 {
+		t.Error("no blocks committed")
 	}
 }

@@ -39,6 +39,16 @@ func WithCapacity(n int) Option {
 	return func(p *Pool) { p.capacity = n }
 }
 
+// WithEvictLowest switches the overflow policy from rejection to
+// eviction: a transaction arriving at a full pool displaces the
+// oldest lowest-priced resident, provided the newcomer pays a strictly
+// higher gas price (otherwise it is still rejected). This is the
+// sustained-overload behavior real mempools exhibit; the paper's
+// orphaning analysis (§V-C) extends to evicted HMS parents.
+func WithEvictLowest() Option {
+	return func(p *Pool) { p.evictLowest = true }
+}
+
 // ChangeKind discriminates pool change events.
 type ChangeKind uint8
 
@@ -75,7 +85,11 @@ type Pool struct {
 	bySender   map[types.Address]map[uint64]types.Hash
 	validate   Validator
 	capacity   int
-	subs       []func(*types.Transaction)
+	// evictLowest selects the overflow policy: evict the oldest
+	// lowest-priced resident instead of rejecting the newcomer.
+	evictLowest bool
+	evicted     uint64
+	subs        []func(*types.Transaction)
 
 	// gen counts pool mutations; consumers compare generations to detect
 	// staleness without copying the pending set.
@@ -183,9 +197,17 @@ func (p *Pool) changedLocked(kind ChangeKind, tx *types.Transaction) {
 // Add admits a transaction. Same-sender same-nonce transactions replace
 // the resident one only at a strictly higher gas price.
 func (p *Pool) Add(tx *types.Transaction) error {
+	_, err := p.Admit(tx)
+	return err
+}
+
+// Admit is Add returning the pool's memoized instance on success, so
+// callers that immediately gossip the transaction can share the frozen
+// copy instead of re-copying it per recipient.
+func (p *Pool) Admit(tx *types.Transaction) (*types.Transaction, error) {
 	if p.validate != nil {
 		if err := p.validate(tx); err != nil {
-			return fmt.Errorf("%w: %v", ErrRejected, err)
+			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 		}
 	}
 	// The pool's instance is private and, once admitted, treated as
@@ -198,7 +220,7 @@ func (p *Pool) Add(tx *types.Transaction) error {
 	p.mu.Lock()
 	if _, known := p.all[hash]; known {
 		p.mu.Unlock()
-		return ErrAlreadyKnown
+		return nil, ErrAlreadyKnown
 	}
 	var prevHash types.Hash
 	var replacing bool
@@ -211,12 +233,14 @@ func (p *Pool) Add(tx *types.Transaction) error {
 		prev := p.all[prevHash]
 		if tx.GasPrice <= prev.GasPrice {
 			p.mu.Unlock()
-			return ErrUnderpriced
+			return nil, ErrUnderpriced
 		}
 		p.removeLocked(prevHash)
 	} else if len(p.all) >= p.capacity {
-		p.mu.Unlock()
-		return ErrPoolFull
+		if !p.evictLowest || !p.evictLowestLocked(tx.GasPrice) {
+			p.mu.Unlock()
+			return nil, ErrPoolFull
+		}
 	}
 	// Look the nonce map up after the removal above: evicting the
 	// sender's only pending tx drops their map, and writing into the
@@ -240,7 +264,41 @@ func (p *Pool) Add(tx *types.Transaction) error {
 	for _, fn := range subs {
 		fn(tx.Copy())
 	}
-	return nil
+	return tx, nil
+}
+
+// evictLowestLocked frees one slot for a newcomer paying price by
+// evicting the oldest resident with the lowest gas price, scanning the
+// canonical arrival order so the choice is deterministic. It reports
+// whether a slot was freed (false when no resident is priced strictly
+// below the newcomer).
+func (p *Pool) evictLowestLocked(price uint64) bool {
+	var victim types.Hash
+	found := false
+	lowest := price
+	for i, h := range p.arrival {
+		tx, ok := p.all[h]
+		if !ok || p.arrivalIdx[h] != i {
+			continue
+		}
+		if tx.GasPrice < lowest {
+			lowest, victim, found = tx.GasPrice, h, true
+		}
+	}
+	if !found {
+		return false
+	}
+	p.evicted++
+	p.removeLocked(victim)
+	return true
+}
+
+// Evicted returns the number of transactions displaced by the
+// evict-lowest overflow policy.
+func (p *Pool) Evicted() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.evicted
 }
 
 // Get returns the transaction with the given hash, or nil.

@@ -554,3 +554,84 @@ func TestClearEvictsInCanonicalOrder(t *testing.T) {
 		t.Fatalf("clear order = %v, want canonical [b, a]", removed)
 	}
 }
+
+func TestAdmitReturnsMemoizedInstance(t *testing.T) {
+	p := New()
+	orig := tx(1, 0, 10)
+	got, err := p.Admit(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == orig {
+		t.Error("Admit returned the caller's instance, not the pool's copy")
+	}
+	if !got.Memoized() {
+		t.Error("admitted instance not memoized")
+	}
+	if got.Hash() != orig.Hash() {
+		t.Error("admitted instance hash mismatch")
+	}
+}
+
+func TestEvictLowestOnOverflow(t *testing.T) {
+	p := New(WithCapacity(3), WithEvictLowest())
+	cheapOld := tx(1, 0, 5)
+	cheapNew := tx(2, 0, 5)
+	mid := tx(3, 0, 7)
+	for _, x := range []*types.Transaction{cheapOld, cheapNew, mid} {
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Equal price must NOT displace a resident.
+	if err := p.Add(tx(4, 0, 5)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("equal-priced newcomer: %v", err)
+	}
+	// A higher bid evicts the OLDEST lowest-priced resident.
+	rich := tx(5, 0, 9)
+	if err := p.Add(rich); err != nil {
+		t.Fatal(err)
+	}
+	if p.Has(cheapOld.Hash()) {
+		t.Error("oldest lowest-priced resident survived")
+	}
+	if !p.Has(cheapNew.Hash()) || !p.Has(mid.Hash()) || !p.Has(rich.Hash()) {
+		t.Error("wrong victim evicted")
+	}
+	if p.Len() != 3 {
+		t.Errorf("len = %d", p.Len())
+	}
+	if p.Evicted() != 1 {
+		t.Errorf("evicted = %d", p.Evicted())
+	}
+}
+
+func TestEvictionNotifiesWatchers(t *testing.T) {
+	p := New(WithCapacity(2), WithEvictLowest())
+	var removed []types.Hash
+	p.Watch(func(c Change) {
+		if c.Kind == TxRemoved {
+			removed = append(removed, c.Tx.Hash())
+		}
+	})
+	victim := tx(1, 0, 1)
+	p.Add(victim)
+	p.Add(tx(2, 0, 2))
+	if err := p.Add(tx(3, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != victim.Hash() {
+		t.Errorf("watcher saw %v", removed)
+	}
+}
+
+func TestRejectOverflowWithoutEvictOption(t *testing.T) {
+	p := New(WithCapacity(1))
+	p.Add(tx(1, 0, 1))
+	if err := p.Add(tx(2, 0, 100)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("overflow without eviction: %v", err)
+	}
+	if p.Evicted() != 0 {
+		t.Error("phantom eviction")
+	}
+}

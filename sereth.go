@@ -75,8 +75,10 @@ type (
 type (
 	// Network is the in-process simulated peer network.
 	Network = p2p.Network
-	// NetworkConfig parameterizes gossip latency and loss.
+	// NetworkConfig parameterizes gossip latency, loss and topology.
 	NetworkConfig = p2p.Config
+	// Topology selects the gossip graph (mesh, ring, random d-regular).
+	Topology = p2p.Topology
 	// PeerID identifies a peer.
 	PeerID = p2p.PeerID
 	// Node is a full validating client (Geth or Sereth mode).
@@ -118,6 +120,8 @@ type (
 	ScenarioResult = sim.Result
 	// SweepPoint is one aggregated cell of a sweep.
 	SweepPoint = sim.SweepPoint
+	// PopulationShape overrides a sweep's peer population and topology.
+	PopulationShape = sim.Shape
 )
 
 // Client modes and miner kinds.
@@ -186,6 +190,17 @@ func SerethContract() []byte { return asm.SerethContract() }
 // NewNetwork creates a simulated peer network.
 func NewNetwork(cfg NetworkConfig) *Network { return p2p.NewNetwork(cfg) }
 
+// Gossip topologies for NetworkConfig.Topology.
+var (
+	// MeshTopology is the one-hop full mesh (the paper rig).
+	MeshTopology = p2p.Mesh
+	// RingTopology relays gossip around a sorted ring.
+	RingTopology = p2p.Ring
+	// RandomRegularTopology is a random d-regular graph over a ring
+	// backbone with multi-hop relay.
+	RandomRegularTopology = p2p.RandomRegular
+)
+
 // NewStateDB returns an empty world state for genesis construction.
 func NewStateDB() *StateDB { return statedb.New() }
 
@@ -244,6 +259,10 @@ func NewTracker(contract Address) *Tracker {
 
 // RunScenario executes one experiment scenario.
 func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) { return sim.Run(cfg) }
+
+// OverloadScenario returns the sustained-overload configuration:
+// arrival rate above block capacity into bounded evict-lowest mempools.
+func OverloadScenario(seed int64) ScenarioConfig { return sim.Overload(seed) }
 
 // Figure2Geth returns the geth_unmodified scenario at the given set count.
 func Figure2Geth(sets int, seed int64) ScenarioConfig { return sim.GethUnmodified(sets, seed) }
