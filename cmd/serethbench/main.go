@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"sereth/internal/chain"
 	"sereth/internal/p2p"
 	"sereth/internal/scenarios"
 	"sereth/internal/sim"
@@ -73,6 +74,16 @@ func main() {
 	add(broadcastMesh50())
 	add(viewLatency())
 	add(viewFromScratch())
+	incRoot, scratchRoot := stateRoot()
+	add(incRoot)
+	add(scratchRoot)
+	if incRoot.NsPerOp > 0 {
+		fmt.Printf("state-root incremental speedup: %.0fx (acceptance bar: >= 5x)\n",
+			scratchRoot.NsPerOp/incRoot.NsPerOp)
+	}
+	fullReplay, cachedReplay := blockReplay()
+	add(fullReplay)
+	add(cachedReplay)
 
 	report := Report{
 		Date:      time.Now().Format("2006-01-02"),
@@ -166,6 +177,69 @@ func viewLatency() Record {
 		}
 	})
 	return benchRecord("view-latency/incremental-1k", res)
+}
+
+// stateRoot measures the 1000-tx-state commitment both ways: the
+// incremental row (mutate one account, recommit via the persistent
+// tries) against the pre-incremental full rebuild. The ratio is the
+// tentpole acceptance metric (>= 5x).
+func stateRoot() (incremental, fromScratch Record) {
+	st, addrs := scenarios.StateFixture(1000)
+	st.Root()
+	n := uint64(0)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n++
+			st.SetNonce(addrs[int(n)%len(addrs)], n+100)
+			if st.Root() == (types.Hash{}) {
+				b.Fatal("zero root")
+			}
+		}
+	})
+	incremental = benchRecord("stateroot/incremental-1k", res)
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh, _ := scenarios.StateFixture(1000)
+			b.StartTimer()
+			// Root on a fully-dirty fresh state is exactly the
+			// pre-incremental full rebuild.
+			if fresh.Root() == (types.Hash{}) {
+				b.Fatal("zero root")
+			}
+		}
+	})
+	fromScratch = benchRecord("stateroot/fromscratch-1k", res)
+	return incremental, fromScratch
+}
+
+// blockReplay measures a fresh peer importing a sealed 100-tx block by
+// full replay versus adopting the shared validated execution.
+func blockReplay() (full, cached Record) {
+	fixture := scenarios.NewReplayFixture(100)
+	run := func(cache *chain.ExecCache) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := fixture.NewChain(cache)
+				b.StartTimer()
+				if _, err := c.InsertBlock(fixture.Block); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	full = benchRecord("replay/insert-100tx-full", run(nil))
+	warm := chain.NewExecCache(0)
+	if _, err := fixture.NewChain(warm).InsertBlock(fixture.Block); err != nil {
+		fmt.Fprintln(os.Stderr, "serethbench: replay warmup:", err)
+		os.Exit(1)
+	}
+	cached = benchRecord("replay/insert-100tx-cached", run(warm))
+	return full, cached
 }
 
 func viewFromScratch() Record {

@@ -38,6 +38,8 @@ func run(args []string) error {
 	clients := fs.Int("clients", 1, "non-mining client peers (used when -peers is set)")
 	topology := fs.String("topology", "", "gossip topology: mesh (default), ring, dregular")
 	degree := fs.Int("degree", 0, "neighbor degree for -topology dregular")
+	lazyClients := fs.Bool("lazy-clients", false,
+		"client peers adopt shared validated executions without re-verification (large -peers sweeps)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,6 +48,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	shape.LazyClients = *lazyClients
 
 	experiments := map[string]func(sim.Shape, []int64, bool) error{
 		"figure2":       runFigure2,

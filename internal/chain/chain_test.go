@@ -227,7 +227,7 @@ func TestBlockGasLimit(t *testing.T) {
 	// One 300k-gas-limit tx exceeds the 100k block limit.
 	tx := setTxFor(alice, 0, types.ZeroWord, 5, types.FlagHead)
 	header := &types.Header{ParentHash: c.Head().Hash(), Number: 1, GasLimit: cfg.GasLimit}
-	if _, _, _, err := c.ExecuteBlock(c.State(), header, []*types.Transaction{tx}); !errors.Is(err, ErrGasLimitreached) {
+	if _, _, _, err := c.ExecuteBlock(c.State(), header, []*types.Transaction{tx}); !errors.Is(err, ErrGasLimitReached) {
 		t.Errorf("gas limit: %v", err)
 	}
 }
@@ -326,6 +326,84 @@ func TestValueTransfer(t *testing.T) {
 	}
 	if receipts[0].Status != types.StatusFailed {
 		t.Error("overdraft succeeded")
+	}
+}
+
+func TestContractNoopWithValueFails(t *testing.T) {
+	// Regression: a contract-rejected no-op carrying value used to be
+	// classified Succeeded — the transfer's own journal entries defeated
+	// the "no state effect" check — which skewed η's failed-tx
+	// accounting. It must fail AND return the value.
+	alice := wallet.NewKey("alice")
+	reg := wallet.NewRegistry()
+	reg.Register(alice)
+	genesis := genesisWithContract()
+	genesis.AddBalance(alice.Address(), 1000)
+	cfg := DefaultConfig()
+	cfg.Registry = reg
+	c := New(cfg, genesis)
+
+	// Stale mark => the contract rejects the set; the tx carries value.
+	tx := alice.SignTx(&types.Transaction{
+		Nonce:    0,
+		To:       contractAddr,
+		Value:    400,
+		GasPrice: 10,
+		GasLimit: 300_000,
+		Data:     types.EncodeCall(asm.SelSet, types.FlagHead, types.WordFromUint64(123), types.WordFromUint64(5)),
+	})
+	block := buildBlock(t, c, []*types.Transaction{tx})
+	receipts, err := c.InsertBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipts[0].Status != types.StatusFailed {
+		t.Error("contract-rejected no-op with value classified as succeeded")
+	}
+	c.ReadState(func(st *statedb.StateDB) {
+		if got := st.GetBalance(alice.Address()); got != 1000 {
+			t.Errorf("value not returned on failure: balance %d", got)
+		}
+		if got := st.GetBalance(contractAddr); got != 0 {
+			t.Errorf("contract kept value of failed tx: %d", got)
+		}
+		if st.GetNonce(alice.Address()) != 1 {
+			t.Error("nonce not advanced for included failed tx")
+		}
+	})
+	// A successful contract call carrying value keeps the transfer.
+	tx2 := alice.SignTx(&types.Transaction{
+		Nonce:    1,
+		To:       contractAddr,
+		Value:    100,
+		GasPrice: 10,
+		GasLimit: 300_000,
+		Data:     types.EncodeCall(asm.SelSet, types.FlagHead, types.ZeroWord, types.WordFromUint64(5)),
+	})
+	block2 := buildBlock(t, c, []*types.Transaction{tx2})
+	receipts, err = c.InsertBlock(block2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipts[0].Status != types.StatusSucceeded {
+		t.Error("valid set with value failed")
+	}
+	c.ReadState(func(st *statedb.StateDB) {
+		if got := st.GetBalance(contractAddr); got != 100 {
+			t.Errorf("successful call lost its value: contract balance %d", got)
+		}
+	})
+}
+
+func TestSealRestoresNonceOnFailure(t *testing.T) {
+	// Regression: an exhausted seal search used to leave maxIter-1 in the
+	// header. On failure the original nonce must be restored.
+	h := &types.Header{Number: 1, ParentHash: types.Hash{1}, PowNonce: 0xabcd}
+	if Seal(h, 1<<63, 4) {
+		t.Fatal("4-iteration search at extreme difficulty unexpectedly succeeded")
+	}
+	if h.PowNonce != 0xabcd {
+		t.Errorf("failed seal search mutated nonce: %#x", h.PowNonce)
 	}
 }
 

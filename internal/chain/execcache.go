@@ -1,0 +1,105 @@
+// Shared validated-execution cache: in a multi-peer process every peer
+// replays every block (paper §II-D), so N in-process peers pay N
+// identical EVM replays and N identical state commitments per block. The
+// ExecCache memoizes each validated state transition once, keyed by
+// (parent state root, block hash); peers that import the same block
+// afterwards verify the header against the memoized roots instead of
+// re-executing the body.
+package chain
+
+import (
+	"sync"
+
+	"sereth/internal/statedb"
+	"sereth/internal/types"
+)
+
+// ExecKey identifies one block execution. The parent state root pins the
+// pre-state; the block hash pins the header and — through the TxRoot a
+// non-lazy importer has already verified — the body.
+type ExecKey struct {
+	ParentRoot types.Hash
+	BlockHash  types.Hash
+}
+
+// ExecResult is one memoized state transition. Post is the flushed
+// post-execution state, structure-shared by every adopter: it must be
+// treated as read-only (Chain copies it before mutating).
+type ExecResult struct {
+	Receipts    []*types.Receipt
+	Post        *statedb.StateDB
+	GasUsed     uint64
+	StateRoot   types.Hash
+	ReceiptRoot types.Hash
+}
+
+// DefaultExecCacheSize bounds the cache to roughly the import lag between
+// the fastest and slowest in-process peer, in blocks.
+const DefaultExecCacheSize = 128
+
+// ExecCache is a bounded FIFO memo of validated block executions. Safe
+// for concurrent use; one instance is shared by every in-process chain.
+type ExecCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[ExecKey]*ExecResult
+	order   []ExecKey
+	hits    uint64
+	misses  uint64
+}
+
+// NewExecCache returns a cache bounded to capacity entries
+// (DefaultExecCacheSize when capacity <= 0).
+func NewExecCache(capacity int) *ExecCache {
+	if capacity <= 0 {
+		capacity = DefaultExecCacheSize
+	}
+	return &ExecCache{
+		cap:     capacity,
+		entries: make(map[ExecKey]*ExecResult, capacity),
+	}
+}
+
+// Get returns the memoized execution for key, if present.
+func (c *ExecCache) Get(key ExecKey) (*ExecResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return entry, ok
+}
+
+// Put memoizes an execution. An existing entry is kept (executions are
+// deterministic, so the first writer's result is as good as any).
+func (c *ExecCache) Put(key ExecKey, res *ExecResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	if len(c.order) >= c.cap {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, evict)
+	}
+	c.entries[key] = res
+	c.order = append(c.order, key)
+}
+
+// Len returns the number of memoized executions.
+func (c *ExecCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the hit/miss counters.
+func (c *ExecCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

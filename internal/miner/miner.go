@@ -274,5 +274,9 @@ func (m *Miner) BuildBlock(timestamp uint64) (*types.Block, error) {
 	if !chain.Seal(header, m.chain.Config().Difficulty, m.maxSealIter) {
 		return nil, fmt.Errorf("build block %d: seal search exhausted", header.Number)
 	}
+	// The build execution is NOT memoized into the chain's ExecCache:
+	// the cache must only hold importer-side replays, so the miner's own
+	// self-import performs the one honest replay (with full header
+	// verification) that every other peer's root comparison then rests on.
 	return &types.Block{Header: header, Txs: body}, nil
 }

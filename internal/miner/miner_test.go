@@ -359,3 +359,41 @@ func TestMinerEmptyPool(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBuildBlockDoesNotPopulateExecCache pins the replay-once contract:
+// the miner's build execution stays out of the shared cache, so the
+// self-import is a full honest replay (with header verification) and
+// only THAT validated result is shared with the other peers.
+func TestBuildBlockDoesNotPopulateExecCache(t *testing.T) {
+	owner := wallet.NewKey("owner")
+	reg := wallet.NewRegistry()
+	reg.Register(owner)
+	st := statedb.New()
+	st.SetCode(contractAddr, asm.SerethContract())
+	cfg := chain.DefaultConfig()
+	cfg.Registry = reg
+	cfg.ExecCache = chain.NewExecCache(0)
+	c := chain.New(cfg, st)
+	pool := txpool.New()
+	m := NewMiner(c, pool, NewBaseline(1), addr(0xee))
+
+	if err := pool.Add(setTx(owner, 0, types.FlagHead, types.ZeroWord, 5)); err != nil {
+		t.Fatal(err)
+	}
+	block, err := m.BuildBlock(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ExecCache.Len() != 0 {
+		t.Error("BuildBlock populated the exec cache before any import")
+	}
+	if _, err := c.InsertBlock(block); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ExecCache.Len() != 1 {
+		t.Error("self-import replay did not populate the cache")
+	}
+	if hits, misses := cfg.ExecCache.Stats(); hits != 0 || misses != 1 {
+		t.Errorf("self-import was not a cache miss: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -23,7 +23,10 @@ import (
 	"sereth/internal/wallet"
 )
 
-// Mode selects the client type.
+// Mode selects the client type. Orthogonally to the geth/sereth split,
+// Config.Lazy switches a node's chain to lazy validation (adopt shared
+// validated executions without independent root comparison) — the
+// scale-sweep client mode.
 type Mode int
 
 // Client modes.
@@ -75,6 +78,13 @@ type Config struct {
 	// EvictOnFull selects the pool's evict-lowest overflow policy
 	// instead of rejecting newcomers (overload scenarios).
 	EvictOnFull bool
+	// Lazy switches this node's chain to lazy validation: cached
+	// executions from Chain.ExecCache are adopted without independent
+	// root comparison, and only cache misses pay the full replay. Meant
+	// for non-mining clients in large population sweeps; it weakens the
+	// paper's every-peer-replays guarantee (§II-D) and requires an
+	// ExecCache in the chain config to have any effect.
+	Lazy bool
 }
 
 // Node is one peer: a full validating client, optionally mining.
@@ -137,6 +147,9 @@ var _ p2p.Handler = (*Node)(nil)
 func New(cfg Config) (*Node, error) {
 	if cfg.Network == nil {
 		return nil, fmt.Errorf("node %d: network is required", cfg.ID)
+	}
+	if cfg.Lazy {
+		cfg.Chain.LazyValidation = true
 	}
 	c := chain.New(cfg.Chain, cfg.Genesis)
 	n := &Node{

@@ -13,13 +13,16 @@ import (
 	"fmt"
 )
 
-// Kind discriminates the two RLP item kinds.
+// Kind discriminates the RLP item kinds.
 type Kind int
 
 // Item kinds.
 const (
 	KindString Kind = iota + 1
 	KindList
+	// KindRaw is a pre-encoded fragment spliced verbatim into the output.
+	// It never appears in decoded items; see Raw.
+	KindRaw
 )
 
 // Item is a node in an RLP value tree.
@@ -63,6 +66,14 @@ func Uint(v uint64) Item {
 		n++
 	}
 	return Item{kind: KindString, str: append([]byte{}, buf[:n]...)}
+}
+
+// Raw returns an item that encodes to exactly enc, which must already be
+// a valid RLP encoding. The slice is NOT copied — callers hand over
+// ownership (the trie uses this to splice memoized child encodings
+// without re-walking the subtree).
+func Raw(enc []byte) Item {
+	return Item{kind: KindRaw, str: enc}
 }
 
 // List returns a list item of the given children.
@@ -120,6 +131,8 @@ func appendItem(out []byte, it Item) []byte {
 	switch it.kind {
 	case KindString:
 		return appendString(out, it.str)
+	case KindRaw:
+		return append(out, it.str...)
 	case KindList:
 		var payload []byte
 		for _, child := range it.list {
@@ -278,6 +291,8 @@ func (it Item) GoString() string {
 			s += c.GoString()
 		}
 		return s + "]"
+	case KindRaw:
+		return fmt.Sprintf("raw:%x", it.str)
 	default:
 		return "<invalid>"
 	}

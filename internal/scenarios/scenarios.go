@@ -9,11 +9,15 @@ package scenarios
 import (
 	"fmt"
 
+	"sereth/internal/asm"
+	"sereth/internal/chain"
 	"sereth/internal/hms"
 	"sereth/internal/p2p"
 	"sereth/internal/sim"
+	"sereth/internal/statedb"
 	"sereth/internal/txpool"
 	"sereth/internal/types"
+	"sereth/internal/wallet"
 )
 
 // NopPeer is a p2p.Handler that absorbs every delivery — the shared
@@ -127,6 +131,9 @@ func ScaleTable() []Eta {
 		{"scale/figure2-sereth/peers-50-mesh", sim.Shape{SemanticMiners: 24, BaselineMiners: 24, Clients: 2}},
 		{"scale/figure2-sereth/peers-50-ring", sim.Shape{SemanticMiners: 24, BaselineMiners: 24, Clients: 2, Topology: "ring"}},
 		{"scale/figure2-sereth/peers-50-dregular6", sim.Shape{SemanticMiners: 24, BaselineMiners: 24, Clients: 2, Topology: "dregular", Degree: 6}},
+		// Lazy clients must not move η: this row pins bit-equality with
+		// the eager peers-50-mesh cell while recording the wall-time win.
+		{"scale/figure2-sereth/peers-50-mesh-lazy", sim.Shape{SemanticMiners: 24, BaselineMiners: 24, Clients: 2, LazyClients: true}},
 	}
 	var out []Eta
 	for _, sc := range shapes {
@@ -152,6 +159,94 @@ func NewTracker() *hms.Tracker {
 		SetSelector: types.SelectorFor("set(bytes32[3])"),
 		BuySelector: types.SelectorFor("buy(bytes32[3])"),
 	})
+}
+
+// StateFixture builds the shared state-commitment fixture: a world state
+// shaped like n applied transactions — n funded EOAs with bumped nonces
+// plus the bench contract holding n storage words. It returns the state
+// and the EOA addresses (churn targets for the incremental-root rows).
+func StateFixture(n int) (*statedb.StateDB, []types.Address) {
+	st := statedb.New()
+	addrs := make([]types.Address, n)
+	for i := 0; i < n; i++ {
+		var a types.Address
+		a[0] = 0xaa
+		a[18] = byte(i >> 8)
+		a[19] = byte(i)
+		st.SetNonce(a, uint64(i%7+1))
+		st.AddBalance(a, uint64(1000+i))
+		addrs[i] = a
+	}
+	st.SetCode(BenchContract, asm.SerethContract())
+	for i := 0; i < n; i++ {
+		st.SetState(BenchContract, types.WordFromUint64(uint64(i)), types.WordFromUint64(uint64(i+1)))
+	}
+	return st, addrs
+}
+
+// ReplayFixture is the shared block-validation workload: a sealed block
+// of chained set transactions on a contract genesis, plus everything a
+// consumer needs to spin up fresh validator chains against it.
+type ReplayFixture struct {
+	Registry *wallet.Registry
+	Genesis  *statedb.StateDB
+	Block    *types.Block
+	gasLimit uint64
+}
+
+// NewReplayFixture builds the n-transaction replay fixture.
+func NewReplayFixture(n int) *ReplayFixture {
+	reg := wallet.NewRegistry()
+	owner := wallet.NewKey("replay-owner")
+	reg.Register(owner)
+	genesis := statedb.New()
+	genesis.SetCode(BenchContract, asm.SerethContract())
+	gasLimit := uint64(n+1) * 300_000
+	c := chain.New(chain.Config{GasLimit: gasLimit, Registry: reg}, genesis)
+
+	selSet := types.SelectorFor("set(bytes32[3])")
+	txs := make([]*types.Transaction, n)
+	prev := types.Word{}
+	flag := types.FlagHead
+	for i := range txs {
+		v := types.WordFromUint64(uint64(i + 10))
+		txs[i] = owner.SignTx(&types.Transaction{
+			Nonce:    uint64(i),
+			To:       BenchContract,
+			GasPrice: 10,
+			GasLimit: 300_000,
+			Data:     types.EncodeCall(selSet, flag, prev, v),
+		})
+		prev = types.NextMark(prev, v)
+		flag = types.FlagChain
+	}
+	head := c.Head()
+	header := &types.Header{
+		ParentHash: head.Hash(),
+		Number:     1,
+		GasLimit:   gasLimit,
+		Time:       15,
+	}
+	receipts, post, gasUsed, err := c.ExecuteBlock(c.State(), header, txs)
+	if err != nil {
+		panic(fmt.Sprintf("scenarios: replay fixture: %v", err))
+	}
+	header.TxRoot = types.DeriveTxRoot(txs)
+	header.ReceiptRoot = types.DeriveReceiptRoot(receipts)
+	header.StateRoot = post.Root()
+	header.GasUsed = gasUsed
+	return &ReplayFixture{
+		Registry: reg,
+		Genesis:  genesis,
+		Block:    &types.Block{Header: header, Txs: txs},
+		gasLimit: gasLimit,
+	}
+}
+
+// NewChain returns a fresh validator chain at the fixture's genesis,
+// optionally joined to a shared validated-execution cache.
+func (f *ReplayFixture) NewChain(cache *chain.ExecCache) *chain.Chain {
+	return chain.New(chain.Config{GasLimit: f.gasLimit, Registry: f.Registry, ExecCache: cache}, f.Genesis)
 }
 
 // ChainPool builds the shared view-latency fixture: an n-transaction

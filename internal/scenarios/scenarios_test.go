@@ -56,3 +56,34 @@ func TestChainPoolFixture(t *testing.T) {
 		t.Fatalf("churn depth %d", view.Depth)
 	}
 }
+
+func TestStateFixtureDeterministic(t *testing.T) {
+	a, addrs := StateFixture(200)
+	b, _ := StateFixture(200)
+	if len(addrs) != 200 {
+		t.Fatalf("addrs = %d", len(addrs))
+	}
+	if a.Root() != b.Root() {
+		t.Error("state fixture not deterministic")
+	}
+	if a.GetNonce(addrs[3]) == 0 {
+		t.Error("fixture EOAs not populated")
+	}
+}
+
+func TestReplayFixtureValidates(t *testing.T) {
+	f := NewReplayFixture(20)
+	c := f.NewChain(nil)
+	receipts, err := c.InsertBlock(f.Block)
+	if err != nil {
+		t.Fatalf("fixture block rejected: %v", err)
+	}
+	if len(receipts) != 20 {
+		t.Fatalf("receipts = %d", len(receipts))
+	}
+	for i, r := range receipts {
+		if r.Status != types.StatusSucceeded {
+			t.Errorf("fixture tx %d failed", i)
+		}
+	}
+}

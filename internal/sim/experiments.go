@@ -19,6 +19,9 @@ type Shape struct {
 	Clients        int
 	Topology       string
 	Degree         int
+	// LazyClients switches the client peers to lazy validation
+	// (serethsim -lazy-clients): required for 1000-peer sweeps.
+	LazyClients bool
 }
 
 // Apply returns cfg with the non-zero shape fields overridden.
@@ -37,6 +40,9 @@ func (sh Shape) Apply(cfg ScenarioConfig) ScenarioConfig {
 	}
 	if sh.Degree > 0 {
 		cfg.Degree = sh.Degree
+	}
+	if sh.LazyClients {
+		cfg.LazyClients = true
 	}
 	return cfg
 }

@@ -79,6 +79,12 @@ type ScenarioConfig struct {
 	SemanticFraction float64
 	// ExtendHeads enables the HMS orphan-recovery extension (ablation).
 	ExtendHeads bool
+	// LazyClients switches the non-mining client peers to lazy
+	// validation: they adopt the population's shared validated
+	// executions without independent root comparison. Miners always
+	// validate fully. Makes 1000-peer sweeps feasible; η is unaffected
+	// (execution is deterministic either way).
+	LazyClients bool
 	// SingleSender runs the §V sequential-history check: every
 	// transaction from one address, so nonce order = block order.
 	SingleSender bool
@@ -317,7 +323,15 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 
 	genesis := statedb.New()
 	genesis.SetCode(s.contract, asm.SerethContract())
-	chainCfg := chain.Config{GasLimit: cfg.BlockGasLimit, Registry: reg}
+	// One shared validated-execution cache for the whole population: the
+	// first importer of each block (usually its miner) replays it once,
+	// everyone else verifies by root comparison (§II-D economics without
+	// N identical replays per in-process block).
+	chainCfg := chain.Config{
+		GasLimit:  cfg.BlockGasLimit,
+		Registry:  reg,
+		ExecCache: chain.NewExecCache(0),
+	}
 
 	topo, err := p2p.ParseTopology(cfg.Topology, cfg.Degree, cfg.Seed+2)
 	if err != nil {
@@ -337,6 +351,7 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 			Network: s.net, Seed: cfg.Seed + int64(id)*7,
 			ExtendHeads: cfg.ExtendHeads, ReorderWindow: cfg.ReorderWindow,
 			PoolCapacity: cfg.PoolCapacity, EvictOnFull: cfg.EvictOnFull,
+			Lazy: cfg.LazyClients && minerKind == node.MinerNone,
 		})
 	}
 	// Peer ids are assigned semantic miners first, then baseline miners,

@@ -6,6 +6,7 @@ import (
 
 	"sereth/internal/node"
 	"sereth/internal/p2p"
+	"sereth/internal/types"
 )
 
 // fast returns a reduced workload for unit-test speed; the statistical
@@ -311,6 +312,39 @@ func TestDeliveryTraceDeterministic(t *testing.T) {
 				t.Fatalf("%s: delivery %d differs: %+v vs %+v", topo, i, ta[i], tb[i])
 			}
 		}
+	}
+}
+
+// TestLazyClientsMatchEagerValidation runs the same seeded scenario with
+// eager and lazy clients: η, block count and the final state commitment
+// must be identical — lazy validation changes trust, never results.
+func TestLazyClientsMatchEagerValidation(t *testing.T) {
+	run := func(lazy bool) (Result, types.Hash) {
+		cfg := fast(SerethClient(10, 101))
+		cfg.SemanticMiners = 2
+		cfg.BaselineMiners = 2
+		cfg.Clients = 2
+		cfg.LazyClients = lazy
+		s, err := newScenario(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.clients[0].Chain().Head().Header.StateRoot
+	}
+	eager, eagerRoot := run(false)
+	lazy, lazyRoot := run(true)
+	if eager.Efficiency() != lazy.Efficiency() {
+		t.Errorf("lazy η %v != eager %v", lazy.Efficiency(), eager.Efficiency())
+	}
+	if eager.Blocks != lazy.Blocks || eager.BuysSucceeded != lazy.BuysSucceeded {
+		t.Error("lazy clients changed run outcome")
+	}
+	if eagerRoot != lazyRoot {
+		t.Error("lazy clients diverged from eager state commitment")
 	}
 }
 

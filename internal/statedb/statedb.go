@@ -4,19 +4,39 @@
 // place (the blockchain failure semantics of the paper: the transaction
 // stays in the block but has no effect on state). Root computes the
 // Merkle commitment over the full state via the secure trie.
+//
+// The commitment is incremental: every StateDB keeps a persistent
+// account trie (plus one persistent storage trie per account) that is
+// structure-shared across Copy, and tracks the set of accounts dirtied
+// since the last flush. Root re-encodes and re-hashes only the dirty
+// paths — O(changes · log n) instead of rebuilding the full account and
+// storage tries from scratch on every call.
 package statedb
 
 import (
+	"bytes"
+	"fmt"
+
 	"sereth/internal/rlp"
 	"sereth/internal/trie"
 	"sereth/internal/types"
 )
 
 // StateDB is an in-memory journaled world state. Not safe for concurrent
-// use; each consumer (miner, validator) works on its own Copy.
+// use; each consumer (miner, validator) works on its own Copy. A flushed
+// StateDB (one that Root has been called on and not mutated since) may be
+// shared read-only across goroutines — Copy flushes its source, so the
+// trie nodes two copies share are never written again.
 type StateDB struct {
 	accounts map[types.Address]*account
 	journal  []journalEntry
+	// dirty is the set of accounts mutated since the last flush; only
+	// these are re-encoded into the account trie by Root. Journal undos
+	// re-mark their account, so a revert leaves the flush correct.
+	dirty map[types.Address]struct{}
+	// accTrie is the persistent secure account trie. Its nodes are
+	// immutable (mutations path-copy), so Copy shares them wholesale.
+	accTrie *trie.SecureTrie
 }
 
 type account struct {
@@ -25,6 +45,17 @@ type account struct {
 	code    []byte
 	storage map[types.Word]types.Word
 	deleted bool
+
+	// storageTrie persistently commits the storage map; it lags the map
+	// by the keys in dirtySlots until the next flush. The trie struct is
+	// private per account copy, its nodes are shared.
+	storageTrie *trie.SecureTrie
+	dirtySlots  map[types.Word]struct{}
+	// enc is the account's RLP encoding as last flushed into the account
+	// trie; flush skips the trie update when the encoding is unchanged
+	// (e.g. after a snapshot/revert cycle). codeHash caches Keccak(code).
+	enc      []byte
+	codeHash *types.Hash
 }
 
 // journalEntry undoes one mutation.
@@ -32,7 +63,26 @@ type journalEntry func(s *StateDB)
 
 // New returns an empty state.
 func New() *StateDB {
-	return &StateDB{accounts: make(map[types.Address]*account)}
+	return &StateDB{
+		accounts: make(map[types.Address]*account),
+		accTrie:  trie.NewSecure(),
+	}
+}
+
+// touch marks an account dirty for the next flush.
+func (s *StateDB) touch(addr types.Address) {
+	if s.dirty == nil {
+		s.dirty = make(map[types.Address]struct{})
+	}
+	s.dirty[addr] = struct{}{}
+}
+
+// touchSlot marks a storage slot dirty for the next storage-trie flush.
+func (acc *account) touchSlot(key types.Word) {
+	if acc.dirtySlots == nil {
+		acc.dirtySlots = make(map[types.Word]struct{})
+	}
+	acc.dirtySlots[key] = struct{}{}
 }
 
 func (s *StateDB) getOrCreate(addr types.Address) *account {
@@ -42,7 +92,9 @@ func (s *StateDB) getOrCreate(addr types.Address) *account {
 	acc := &account{storage: make(map[types.Word]types.Word)}
 	prev, existed := s.accounts[addr]
 	s.accounts[addr] = acc
+	s.touch(addr)
 	s.journal = append(s.journal, func(st *StateDB) {
+		st.touch(addr)
 		if existed {
 			st.accounts[addr] = prev
 		} else {
@@ -79,7 +131,11 @@ func (s *StateDB) SetNonce(addr types.Address, nonce uint64) {
 	acc := s.getOrCreate(addr)
 	prev := acc.nonce
 	acc.nonce = nonce
-	s.journal = append(s.journal, func(st *StateDB) { acc.nonce = prev })
+	s.touch(addr)
+	s.journal = append(s.journal, func(st *StateDB) {
+		st.touch(addr)
+		acc.nonce = prev
+	})
 }
 
 // GetBalance returns the account balance (0 for absent accounts).
@@ -95,7 +151,11 @@ func (s *StateDB) AddBalance(addr types.Address, amount uint64) {
 	acc := s.getOrCreate(addr)
 	prev := acc.balance
 	acc.balance = prev + amount
-	s.journal = append(s.journal, func(st *StateDB) { acc.balance = prev })
+	s.touch(addr)
+	s.journal = append(s.journal, func(st *StateDB) {
+		st.touch(addr)
+		acc.balance = prev
+	})
 }
 
 // SubBalance debits the account. It reports false (and does nothing) when
@@ -107,11 +167,16 @@ func (s *StateDB) SubBalance(addr types.Address, amount uint64) bool {
 	}
 	prev := acc.balance
 	acc.balance = prev - amount
-	s.journal = append(s.journal, func(st *StateDB) { acc.balance = prev })
+	s.touch(addr)
+	s.journal = append(s.journal, func(st *StateDB) {
+		st.touch(addr)
+		acc.balance = prev
+	})
 	return true
 }
 
-// GetCode returns the contract code (nil for absent or code-less accounts).
+// GetCode returns the contract code (nil for absent or code-less
+// accounts). Callers must not mutate the returned slice.
 func (s *StateDB) GetCode(addr types.Address) []byte {
 	if acc, ok := s.get(addr); ok {
 		return acc.code
@@ -122,9 +187,14 @@ func (s *StateDB) GetCode(addr types.Address) []byte {
 // SetCode installs contract code.
 func (s *StateDB) SetCode(addr types.Address, code []byte) {
 	acc := s.getOrCreate(addr)
-	prev := acc.code
+	prev, prevHash := acc.code, acc.codeHash
 	acc.code = append([]byte{}, code...)
-	s.journal = append(s.journal, func(st *StateDB) { acc.code = prev })
+	acc.codeHash = nil
+	s.touch(addr)
+	s.journal = append(s.journal, func(st *StateDB) {
+		st.touch(addr)
+		acc.code, acc.codeHash = prev, prevHash
+	})
 }
 
 // GetState reads a storage word (zero word when unset).
@@ -144,7 +214,11 @@ func (s *StateDB) SetState(addr types.Address, key, value types.Word) {
 	} else {
 		acc.storage[key] = value
 	}
+	acc.touchSlot(key)
+	s.touch(addr)
 	s.journal = append(s.journal, func(st *StateDB) {
+		st.touch(addr)
+		acc.touchSlot(key)
 		if existed {
 			acc.storage[key] = prev
 		} else {
@@ -157,10 +231,11 @@ func (s *StateDB) SetState(addr types.Address, key, value types.Word) {
 func (s *StateDB) Snapshot() int { return len(s.journal) }
 
 // RevertToSnapshot undoes every mutation made after the snapshot was
-// taken.
+// taken. It panics on a snapshot id that was never handed out — a silent
+// no-op here would mask journal-accounting bugs as state corruption.
 func (s *StateDB) RevertToSnapshot(id int) {
 	if id < 0 || id > len(s.journal) {
-		return
+		panic(fmt.Sprintf("statedb: invalid snapshot id %d (journal length %d)", id, len(s.journal)))
 	}
 	for i := len(s.journal) - 1; i >= id; i-- {
 		s.journal[i](s)
@@ -171,53 +246,111 @@ func (s *StateDB) RevertToSnapshot(id int) {
 // DiscardJournal forgets undo history (e.g. after a block commits).
 func (s *StateDB) DiscardJournal() { s.journal = nil }
 
-// Copy returns a deep copy with an empty journal.
+// Copy returns a deep copy with an empty journal. The copy shares the
+// source's (immutable) trie nodes, cached encodings and code slices;
+// account structs and storage maps are copied. Copy flushes the source
+// first, so the shared structures are fully hashed and never written by
+// either side afterwards.
 func (s *StateDB) Copy() *StateDB {
-	cp := New()
+	s.Root()
+	cp := &StateDB{
+		accounts: make(map[types.Address]*account, len(s.accounts)),
+		accTrie:  s.accTrie.Copy(),
+	}
 	for addr, acc := range s.accounts {
 		if acc.deleted {
 			continue
 		}
-		nacc := &account{
-			nonce:   acc.nonce,
-			balance: acc.balance,
-			code:    append([]byte{}, acc.code...),
-			storage: make(map[types.Word]types.Word, len(acc.storage)),
-		}
-		for k, v := range acc.storage {
-			nacc.storage[k] = v
-		}
-		cp.accounts[addr] = nacc
+		cp.accounts[addr] = acc.copy()
 	}
 	return cp
 }
 
-// Root computes the Merkle commitment over the entire state: a secure
-// trie of RLP-encoded accounts, each committing to its own storage trie
-// root and code hash.
-func (s *StateDB) Root() types.Hash {
-	st := trie.NewSecure()
-	for addr, acc := range s.accounts {
-		if acc.deleted {
-			continue
-		}
-		st.Update(addr[:], encodeAccount(acc))
+// copy clones the account for a StateDB copy. The receiver must be
+// flushed (no dirty slots): the storage trie nodes, cached encoding and
+// code slice are shared, the mutable storage map is duplicated.
+func (acc *account) copy() *account {
+	nacc := &account{
+		nonce:    acc.nonce,
+		balance:  acc.balance,
+		code:     acc.code, // immutable: SetCode installs a fresh copy
+		storage:  make(map[types.Word]types.Word, len(acc.storage)),
+		enc:      acc.enc,
+		codeHash: acc.codeHash,
 	}
-	return st.RootHash()
+	if acc.storageTrie != nil {
+		nacc.storageTrie = acc.storageTrie.Copy()
+	}
+	for k, v := range acc.storage {
+		nacc.storage[k] = v
+	}
+	return nacc
 }
 
-func encodeAccount(acc *account) []byte {
-	storageTrie := trie.NewSecure()
-	for k, v := range acc.storage {
-		storageTrie.Update(k[:], rlp.Encode(rlp.String(minimalBytes(v))))
+// Root computes the Merkle commitment over the entire state: a secure
+// trie of RLP-encoded accounts, each committing to its own storage trie
+// root and code hash. Only accounts dirtied since the previous call are
+// re-encoded; on a clean state this is a cached read.
+func (s *StateDB) Root() types.Hash {
+	s.flush()
+	return s.accTrie.RootHash()
+}
+
+// flush folds every dirty account into the persistent tries. Accounts
+// whose encoding is unchanged (a snapshot/revert round trip) skip the
+// trie update, preserving the cached root.
+func (s *StateDB) flush() {
+	if len(s.dirty) == 0 {
+		return
 	}
-	storageRoot := storageTrie.RootHash()
-	codeHash := types.Keccak(acc.code)
+	for addr := range s.dirty {
+		acc, ok := s.accounts[addr]
+		if !ok || acc.deleted {
+			s.accTrie.Delete(addr[:])
+			if ok {
+				// The struct may be resurrected by a journal revert; its
+				// cached encoding no longer mirrors the trie, so it must
+				// not arm the unchanged-encoding skip below.
+				acc.enc = nil
+			}
+			continue
+		}
+		enc := acc.encode()
+		if bytes.Equal(enc, acc.enc) {
+			continue
+		}
+		acc.enc = enc
+		s.accTrie.Update(addr[:], enc)
+	}
+	clear(s.dirty)
+}
+
+// encode flushes the account's dirty storage slots into its storage trie
+// and returns the account's RLP encoding.
+func (acc *account) encode() []byte {
+	if acc.storageTrie == nil {
+		acc.storageTrie = trie.NewSecure()
+	}
+	if len(acc.dirtySlots) > 0 {
+		for k := range acc.dirtySlots {
+			if v, ok := acc.storage[k]; ok {
+				acc.storageTrie.Update(k[:], rlp.Encode(rlp.String(minimalBytes(v))))
+			} else {
+				acc.storageTrie.Delete(k[:])
+			}
+		}
+		clear(acc.dirtySlots)
+	}
+	storageRoot := acc.storageTrie.RootHash()
+	if acc.codeHash == nil {
+		h := types.Keccak(acc.code)
+		acc.codeHash = &h
+	}
 	return rlp.Encode(rlp.List(
 		rlp.Uint(acc.nonce),
 		rlp.Uint(acc.balance),
 		rlp.String(storageRoot[:]),
-		rlp.String(codeHash[:]),
+		rlp.String(acc.codeHash[:]),
 	))
 }
 

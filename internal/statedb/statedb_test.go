@@ -1,9 +1,11 @@
 package statedb
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"sereth/internal/rlp"
 	"sereth/internal/trie"
 	"sereth/internal/types"
 )
@@ -129,13 +131,20 @@ func TestNestedSnapshots(t *testing.T) {
 	}
 }
 
-func TestRevertBogusSnapshotIsNoop(t *testing.T) {
-	s := New()
-	s.AddBalance(addr(1), 5)
-	s.RevertToSnapshot(-1)
-	s.RevertToSnapshot(999)
-	if s.GetBalance(addr(1)) != 5 {
-		t.Error("bogus revert mutated state")
+func TestRevertBogusSnapshotPanics(t *testing.T) {
+	// A silently-ignored out-of-range snapshot id would mask journal
+	// accounting bugs in the dirty-tracking flush path; it must panic.
+	for _, id := range []int{-1, 999} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RevertToSnapshot(%d) did not panic", id)
+				}
+			}()
+			s := New()
+			s.AddBalance(addr(1), 5)
+			s.RevertToSnapshot(id)
+		}()
 	}
 }
 
@@ -233,6 +242,88 @@ func TestQuickRevertIsComplete(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// rootFromScratch recomputes the commitment the pre-incremental way:
+// fresh account and storage tries rebuilt from the full state. It is the
+// bit-identity reference for the persistent-trie flush path.
+func rootFromScratch(s *StateDB) types.Hash {
+	st := trie.NewSecure()
+	for _, a := range s.Accounts() {
+		acc := s.accounts[a]
+		storageTrie := trie.NewSecure()
+		for k, v := range acc.storage {
+			storageTrie.Update(k[:], rlp.Encode(rlp.String(minimalBytes(v))))
+		}
+		storageRoot := storageTrie.RootHash()
+		codeHash := types.Keccak(acc.code)
+		st.Update(a[:], rlp.Encode(rlp.List(
+			rlp.Uint(acc.nonce),
+			rlp.Uint(acc.balance),
+			rlp.String(storageRoot[:]),
+			rlp.String(codeHash[:]),
+		)))
+	}
+	return st.RootHash()
+}
+
+// TestChurnRootMatchesFromScratch drives a long randomized interleaving
+// of Set/delete/Revert/Copy/Root operations and asserts after every root
+// computation that the incremental commitment is bit-identical to a
+// from-scratch trie rebuild of the same logical state.
+func TestChurnRootMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	states := []*StateDB{New()}
+	var snaps []int // open snapshots on the last state
+
+	check := func(step int, s *StateDB) {
+		got, want := s.Root(), rootFromScratch(s)
+		if got != want {
+			t.Fatalf("step %d: incremental root %x != from-scratch %x", step, got, want)
+		}
+	}
+	for step := 0; step < 1500; step++ {
+		s := states[len(states)-1]
+		a := addr(byte(rng.Intn(12)))
+		switch op := rng.Intn(12); op {
+		case 0, 1:
+			s.SetNonce(a, uint64(rng.Intn(1000)))
+		case 2, 3:
+			s.AddBalance(a, uint64(rng.Intn(1000)))
+		case 4:
+			s.SubBalance(a, uint64(rng.Intn(1000)))
+		case 5, 6:
+			s.SetState(a, types.WordFromUint64(uint64(rng.Intn(6))), types.WordFromUint64(uint64(rng.Intn(50))))
+		case 7:
+			// Delete a slot (zero write clears).
+			s.SetState(a, types.WordFromUint64(uint64(rng.Intn(6))), types.ZeroWord)
+		case 8:
+			s.SetCode(a, []byte{byte(rng.Intn(256)), byte(step)})
+		case 9:
+			snaps = append(snaps, s.Snapshot())
+		case 10:
+			if len(snaps) > 0 {
+				i := rng.Intn(len(snaps))
+				s.RevertToSnapshot(snaps[i])
+				snaps = snaps[:i]
+			}
+		case 11:
+			// Fork: keep mutating a structure-sharing copy; both sides
+			// must commit independently from then on.
+			s.DiscardJournal()
+			snaps = nil
+			states = append(states, s.Copy())
+			if len(states) > 4 {
+				states = states[len(states)-4:]
+			}
+		}
+		if step%25 == 0 {
+			check(step, s)
+		}
+	}
+	for i, s := range states {
+		check(-i, s)
 	}
 }
 

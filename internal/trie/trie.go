@@ -19,27 +19,58 @@ var EmptyRoot = types.Keccak(rlp.Encode(rlp.String(nil)))
 
 // Trie is an in-memory Merkle Patricia Trie. The zero value is not usable;
 // call New.
+//
+// The trie is persistent: Update and Delete copy every node along the
+// mutated path and never modify existing nodes, so a Copy that shares the
+// root pointer stays valid while either side keeps mutating. Each node
+// memoizes its RLP encoding and Keccak reference the first time it is
+// hashed, which makes RootHash O(changed paths) instead of O(trie): the
+// untouched siblings of a mutated path reuse their cached encodings.
 type Trie struct {
 	root node
+	// hash caches the root hash of the current root node; any mutation
+	// clears it.
+	hash *types.Hash
 }
 
 // node is one of: *shortNode (leaf/extension), *fullNode (branch),
 // valueNode (stored value). nil means the empty subtrie.
 type node interface{}
 
+// nodeCache memoizes a node's canonical encoding. enc is the node's RLP
+// encoding (nil until computed); hash is Keccak(enc), valid only when
+// hashed is set (computed lazily and only for encodings >= 32 bytes,
+// which are referenced by hash per the MPT spec). Path copies MUST reset
+// the cache — see insert/deleteNode.
+type nodeCache struct {
+	enc    []byte
+	hash   types.Hash
+	hashed bool
+}
+
 type shortNode struct {
-	key []byte // nibbles
-	val node   // valueNode for a leaf, otherwise child node
+	key   []byte // nibbles
+	val   node   // valueNode for a leaf, otherwise child node
+	cache nodeCache
 }
 
 type fullNode struct {
 	children [17]node // 16 nibble branches + value slot
+	cache    nodeCache
 }
 
 type valueNode []byte
 
 // New returns an empty trie.
 func New() *Trie { return &Trie{} }
+
+// Copy returns a trie sharing this trie's nodes. Updates to either side
+// path-copy, so the two diverge without interference. Sharing across
+// goroutines additionally requires the source's hashes to be
+// materialized first (call RootHash before Copy): hashing fills node
+// caches in place, and only nodes created after the copy — private to
+// their creator — are ever written to afterwards.
+func (t *Trie) Copy() *Trie { return &Trie{root: t.root, hash: t.hash} }
 
 // Get returns the value stored under key, or nil if absent.
 func (t *Trie) Get(key []byte) []byte {
@@ -74,6 +105,7 @@ func (t *Trie) Get(key []byte) []byte {
 
 // Update stores value under key. An empty or nil value deletes the key.
 func (t *Trie) Update(key, value []byte) {
+	t.hash = nil
 	k := keyToNibbles(key)
 	if len(value) == 0 {
 		t.root = deleteNode(t.root, k)
@@ -85,13 +117,17 @@ func (t *Trie) Update(key, value []byte) {
 }
 
 // Delete removes key from the trie.
-func (t *Trie) Delete(key []byte) { t.root = deleteNode(t.root, keyToNibbles(key)) }
+func (t *Trie) Delete(key []byte) {
+	t.hash = nil
+	t.root = deleteNode(t.root, keyToNibbles(key))
+}
 
 func insert(n node, k []byte, v valueNode) node {
 	if len(k) == 0 {
 		switch cur := n.(type) {
 		case *fullNode:
 			cp := *cur
+			cp.cache = nodeCache{}
 			cp.children[16] = v
 			return &cp
 		case *shortNode:
@@ -123,6 +159,7 @@ func insert(n node, k []byte, v valueNode) node {
 		match := commonPrefix(k, cur.key)
 		if match == len(cur.key) {
 			cp := *cur
+			cp.cache = nodeCache{}
 			cp.val = insert(cur.val, k[match:], v)
 			return &cp
 		}
@@ -148,6 +185,7 @@ func insert(n node, k []byte, v valueNode) node {
 		return &shortNode{key: k[:match], val: branch}
 	case *fullNode:
 		cp := *cur
+		cp.cache = nodeCache{}
 		cp.children[k[0]] = insert(cur.children[k[0]], k[1:], v)
 		return &cp
 	default:
@@ -178,10 +216,12 @@ func deleteNode(n node, k []byte) node {
 			return &shortNode{key: merged, val: sn.val}
 		}
 		cp := *cur
+		cp.cache = nodeCache{}
 		cp.val = child
 		return &cp
 	case *fullNode:
 		cp := *cur
+		cp.cache = nodeCache{}
 		if len(k) == 0 {
 			cp.children[16] = nil
 		} else {
@@ -235,63 +275,100 @@ func commonPrefix(a, b []byte) int {
 	return n
 }
 
-// RootHash computes the Merkle root of the current trie contents.
+// RootHash computes the Merkle root of the current trie contents. The
+// result is cached until the next mutation; on a trie where only a few
+// paths changed since the last call, only those paths are re-encoded and
+// re-hashed.
 func (t *Trie) RootHash() types.Hash {
 	if t.root == nil {
 		return EmptyRoot
 	}
-	item := encodeNode(t.root, true)
-	return types.Keccak(rlp.Encode(item))
+	if t.hash == nil {
+		h := types.Keccak(encoding(t.root))
+		t.hash = &h
+	}
+	return *t.hash
 }
 
-// encodeNode converts a node to its RLP item. Per the MPT spec, a child
-// whose encoding is >= 32 bytes is replaced by its Keccak hash; smaller
-// encodings are embedded. force marks the root, which is always hashed by
-// the caller.
-func encodeNode(n node, isRoot bool) rlp.Item {
+// encoding returns the node's canonical RLP encoding, memoized on short
+// and full nodes. The first call after a mutation re-encodes exactly the
+// fresh (path-copied) nodes; every untouched subtree returns its cached
+// bytes without recursing.
+func encoding(n node) []byte {
 	switch cur := n.(type) {
-	case nil:
-		return rlp.String(nil)
 	case valueNode:
-		return rlp.String(cur)
+		return rlp.Encode(rlp.String(cur))
 	case *shortNode:
-		_, isLeaf := cur.val.(valueNode)
-		encodedKey := hexPrefixEncode(cur.key, isLeaf)
-		var valItem rlp.Item
-		if isLeaf {
-			valItem = rlp.String(cur.val.(valueNode))
-		} else {
-			valItem = childRef(cur.val)
+		if cur.cache.enc == nil {
+			cur.cache.enc = rlp.Encode(cur.item())
 		}
-		return rlp.List(rlp.String(encodedKey), valItem)
+		return cur.cache.enc
 	case *fullNode:
-		items := make([]rlp.Item, 17)
-		for i := 0; i < 16; i++ {
-			if cur.children[i] == nil {
-				items[i] = rlp.String(nil)
-			} else {
-				items[i] = childRef(cur.children[i])
-			}
+		if cur.cache.enc == nil {
+			cur.cache.enc = rlp.Encode(cur.item())
 		}
-		if v, ok := cur.children[16].(valueNode); ok {
-			items[16] = rlp.String(v)
-		} else {
-			items[16] = rlp.String(nil)
-		}
-		return rlp.List(items...)
-	default:
-		return rlp.String(nil)
+		return cur.cache.enc
+	default: // nil
+		return rlp.Encode(rlp.String(nil))
 	}
 }
 
-func childRef(n node) rlp.Item {
-	item := encodeNode(n, false)
-	enc := rlp.Encode(item)
-	if len(enc) < 32 {
-		return item
+func (sn *shortNode) item() rlp.Item {
+	_, isLeaf := sn.val.(valueNode)
+	encodedKey := hexPrefixEncode(sn.key, isLeaf)
+	var valItem rlp.Item
+	if isLeaf {
+		valItem = rlp.String(sn.val.(valueNode))
+	} else {
+		valItem = childRef(sn.val)
 	}
-	h := keccak.Sum256(enc)
-	return rlp.String(h[:])
+	return rlp.List(rlp.String(encodedKey), valItem)
+}
+
+func (fn *fullNode) item() rlp.Item {
+	items := make([]rlp.Item, 17)
+	for i := 0; i < 16; i++ {
+		if fn.children[i] == nil {
+			items[i] = rlp.String(nil)
+		} else {
+			items[i] = childRef(fn.children[i])
+		}
+	}
+	if v, ok := fn.children[16].(valueNode); ok {
+		items[16] = rlp.String(v)
+	} else {
+		items[16] = rlp.String(nil)
+	}
+	return rlp.List(items...)
+}
+
+// childRef produces the parent-embedded reference to a child node. Per
+// the MPT spec, a child whose encoding is >= 32 bytes is replaced by its
+// Keccak hash (memoized alongside the encoding); smaller encodings are
+// spliced in verbatim.
+func childRef(n node) rlp.Item {
+	enc := encoding(n)
+	if len(enc) < 32 {
+		return rlp.Raw(enc)
+	}
+	switch cur := n.(type) {
+	case *shortNode:
+		return cur.cache.hashRef(enc)
+	case *fullNode:
+		return cur.cache.hashRef(enc)
+	default:
+		h := keccak.Sum256(enc)
+		return rlp.String(h[:])
+	}
+}
+
+// hashRef returns the node's by-hash reference, memoizing the Keccak.
+func (c *nodeCache) hashRef(enc []byte) rlp.Item {
+	if !c.hashed {
+		c.hash = keccak.Sum256(enc)
+		c.hashed = true
+	}
+	return rlp.String(c.hash[:])
 }
 
 // hexPrefixEncode packs a nibble key with the leaf/extension flag per the
@@ -376,6 +453,9 @@ type SecureTrie struct {
 
 // NewSecure returns an empty secure trie.
 func NewSecure() *SecureTrie { return &SecureTrie{inner: New()} }
+
+// Copy returns a secure trie sharing this trie's nodes (see Trie.Copy).
+func (s *SecureTrie) Copy() *SecureTrie { return &SecureTrie{inner: s.inner.Copy()} }
 
 // Get returns the value stored under key.
 func (s *SecureTrie) Get(key []byte) []byte {

@@ -251,6 +251,76 @@ func TestQuickDistinctContentsDistinctRoots(t *testing.T) {
 	}
 }
 
+// TestIncrementalRootMatchesFresh interleaves updates, deletes and root
+// computations and checks after every mutation that the memoizing trie
+// agrees with a trie built from scratch over the same contents.
+func TestIncrementalRootMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	contents := map[string]string{}
+	for step := 0; step < 600; step++ {
+		key := fmt.Sprintf("key-%d", rng.Intn(60))
+		if rng.Intn(4) == 0 {
+			tr.Delete([]byte(key))
+			delete(contents, key)
+		} else {
+			val := fmt.Sprintf("val-%d", rng.Intn(1000))
+			tr.Update([]byte(key), []byte(val))
+			contents[key] = val
+		}
+		if step%7 != 0 {
+			continue
+		}
+		fresh := New()
+		for k, v := range contents {
+			fresh.Update([]byte(k), []byte(v))
+		}
+		if got, want := tr.RootHash(), fresh.RootHash(); got != want {
+			t.Fatalf("step %d: memoized root %x != fresh %x", step, got, want)
+		}
+	}
+}
+
+// TestCopyDivergesIndependently pins the persistence contract Copy
+// relies on: mutations after a copy never leak into the other side, and
+// the unchanged side keeps returning its cached root.
+func TestCopyDivergesIndependently(t *testing.T) {
+	tr := New()
+	for j := 0; j < 50; j++ {
+		tr.Update([]byte(fmt.Sprintf("key-%d", j)), []byte("value"))
+	}
+	rootBefore := tr.RootHash()
+
+	cp := tr.Copy()
+	cp.Update([]byte("key-3"), []byte("mutated"))
+	cp.Delete([]byte("key-7"))
+	if tr.RootHash() != rootBefore {
+		t.Error("copy mutation changed the source root")
+	}
+	if cp.RootHash() == rootBefore {
+		t.Error("copy root insensitive to its own mutations")
+	}
+	if cp.Get([]byte("key-7")) != nil || tr.Get([]byte("key-7")) == nil {
+		t.Error("delete leaked across the copy boundary")
+	}
+
+	// The diverged copy must equal a fresh trie with the same contents.
+	fresh := New()
+	for j := 0; j < 50; j++ {
+		if j == 7 {
+			continue
+		}
+		val := "value"
+		if j == 3 {
+			val = "mutated"
+		}
+		fresh.Update([]byte(fmt.Sprintf("key-%d", j)), []byte(val))
+	}
+	if cp.RootHash() != fresh.RootHash() {
+		t.Error("diverged copy root != fresh rebuild")
+	}
+}
+
 func BenchmarkInsert1k(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
