@@ -206,6 +206,19 @@ func BenchmarkBlockReplay(b *testing.B) {
 	})
 }
 
+// A1: per-transaction pool admission — copy, identity hash, duplicate
+// check, memoization (hash + fused mark) and change-feed notification.
+// This is the per-peer cost every gossiped transaction pays; keccak
+// dominates it, so it tracks the hash-layer overhaul (acceptance bar:
+// >= 2x over the pre-overhaul loop-form keccak). Body shared with the
+// serethbench txpool/admit row via internal/scenarios.
+func BenchmarkTxAdmission(b *testing.B) { scenarios.BenchTxAdmission(b) }
+
+// A2: batched admission of a 100-tx gossip envelope — one lock
+// acquisition and one subscriber flush for the whole batch (the
+// HandleTxs delivery path). ns/op is per 100-tx batch.
+func BenchmarkAdmitBatch100(b *testing.B) { scenarios.BenchAdmitBatch100(b) }
+
 // S1: a full figure2 cell at population scale — 48 miners + 2 clients
 // on a mesh. Run with -benchtime 1x; the η metric must match the
 // serethbench scale records.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sereth/internal/chain"
+	"sereth/internal/keccak"
 	"sereth/internal/p2p"
 	"sereth/internal/scenarios"
 	"sereth/internal/sim"
@@ -84,6 +85,10 @@ func main() {
 	fullReplay, cachedReplay := blockReplay()
 	add(fullReplay)
 	add(cachedReplay)
+	add(keccakBench("keccak/sum256-64B", 64))
+	add(keccakBench("keccak/sum256-1KB", 1024))
+	add(txAdmission())
+	add(admitBatch100())
 
 	report := Report{
 		Date:      time.Now().Format("2006-01-02"),
@@ -240,6 +245,38 @@ func blockReplay() (full, cached Record) {
 	}
 	cached = benchRecord("replay/insert-100tx-cached", run(warm))
 	return full, cached
+}
+
+// keccakBench measures the one-shot Sum256 sponge on an n-byte input —
+// the hash-layer rows of the keccak overhaul (the 1KB row's acceptance
+// bar is >= 2x over the pre-overhaul loop-form permutation).
+func keccakBench(name string, n int) Record {
+	in := make([]byte, n)
+	for i := range in {
+		in[i] = 0x3c
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			keccak.Sum256(in)
+		}
+	})
+	return benchRecord(name, res)
+}
+
+// txAdmission measures per-transaction pool admission including the
+// derived-data memoization — the per-peer cost of every gossiped tx.
+// The body is shared with the root BenchmarkTxAdmission via
+// internal/scenarios so the recorded row and the CI acceptance
+// benchmark cannot diverge.
+func txAdmission() Record {
+	return benchRecord("txpool/admit", testing.Benchmark(scenarios.BenchTxAdmission))
+}
+
+// admitBatch100 measures batched admission of a 100-tx gossip envelope
+// (ns/op is per batch: one lock acquisition, one subscriber flush).
+func admitBatch100() Record {
+	return benchRecord("txpool/admit-batch-100", testing.Benchmark(scenarios.BenchAdmitBatch100))
 }
 
 func viewFromScratch() Record {

@@ -271,7 +271,17 @@ func (c *Chain) InsertBlock(block *types.Block) ([]*types.Receipt, error) {
 				// authenticated against the header (whose hash keyed the
 				// entry), and the memoized execution must land exactly on
 				// the header's claims.
-				if got := types.DeriveTxRoot(block.Txs); got != block.Header.TxRoot {
+				// block.TxRoot() is memoized on the shared block instance:
+				// derived once (by the miner at build time or the first
+				// importer), reused by every later peer. This authenticates
+				// REBUILT bodies — a block reconstructed with a different
+				// Txs list is a new instance with a cold cache, so swapped
+				// transactions still die here on cache hits. What it does
+				// NOT re-detect is in-place mutation of the shared frozen
+				// instance after its root was derived; like the pool's
+				// frozen transactions and the cache's shared post states,
+				// an admitted block's body is immutable by contract.
+				if got := block.TxRoot(); got != block.Header.TxRoot {
 					return nil, ErrBadTxRoot
 				}
 				if entry.GasUsed != block.Header.GasUsed {
@@ -289,7 +299,7 @@ func (c *Chain) InsertBlock(block *types.Block) ([]*types.Receipt, error) {
 		}
 	}
 
-	if got := types.DeriveTxRoot(block.Txs); got != block.Header.TxRoot {
+	if got := block.TxRoot(); got != block.Header.TxRoot {
 		return nil, ErrBadTxRoot
 	}
 	receipts, postState, gasUsed, err := c.ExecuteBlock(c.state, block.Header, block.Txs)

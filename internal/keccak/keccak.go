@@ -1,9 +1,16 @@
 // Package keccak implements the legacy Keccak-256 hash (the pre-SHA-3
 // variant with 0x01 domain padding) used by Ethereum for transaction
 // hashes, storage keys, function selectors and the HMS marks.
+//
+// Two paths are provided. The one-shot Sum256/Sum256Into run a stack
+// sponge that absorbs full-rate chunks straight from the input slices —
+// no Hasher allocation, no buffer copy, no non-destructive state clone —
+// and are what every hot caller (tx hashing, marks, trie node hashing,
+// state commitment) goes through. The incremental Hasher remains for
+// streaming writers; its Sum256 stays non-destructive but clones only
+// the 200-byte lane state plus the live buffer prefix, never the full
+// 136-byte buffer.
 package keccak
-
-import "math/bits"
 
 // Size is the digest length in bytes.
 const Size = 32
@@ -22,46 +29,86 @@ var roundConstants = [24]uint64{
 	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
 }
 
-// rotation offsets r[x][y] flattened by the pi step order.
-var rotc = [24]uint{1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14, 27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44}
-
-// piln is the pi-step lane permutation.
-var piln = [24]int{10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1}
-
-// keccakF1600 applies the 24-round Keccak-f[1600] permutation in place.
-func keccakF1600(st *[25]uint64) {
-	var bc [5]uint64
-	for round := 0; round < 24; round++ {
-		// Theta.
-		for i := 0; i < 5; i++ {
-			bc[i] = st[i] ^ st[i+5] ^ st[i+10] ^ st[i+15] ^ st[i+20]
-		}
-		for i := 0; i < 5; i++ {
-			t := bc[(i+4)%5] ^ bits.RotateLeft64(bc[(i+1)%5], 1)
-			for j := 0; j < 25; j += 5 {
-				st[j+i] ^= t
-			}
-		}
-		// Rho and Pi.
-		t := st[1]
-		for i := 0; i < 24; i++ {
-			j := piln[i]
-			bc[0] = st[j]
-			st[j] = bits.RotateLeft64(t, int(rotc[i]))
-			t = bc[0]
-		}
-		// Chi.
-		for j := 0; j < 25; j += 5 {
-			for i := 0; i < 5; i++ {
-				bc[i] = st[j+i]
-			}
-			for i := 0; i < 5; i++ {
-				st[j+i] ^= (^bc[(i+1)%5]) & bc[(i+2)%5]
-			}
-		}
-		// Iota.
-		st[0] ^= roundConstants[round]
+// xorIn absorbs one full-rate block from b into the state (no permute).
+func xorIn(st *[25]uint64, b []byte) {
+	_ = b[rate-1] // one bounds check for the whole block
+	for i := 0; i < rate/8; i++ {
+		st[i] ^= leUint64(b[i*8:])
 	}
+}
+
+// finalize absorbs the partial tail block (len < rate), applies the
+// legacy 0x01/0x80 domain padding directly into the lanes, and runs the
+// final permutation. Destructive on st.
+func finalize(st *[25]uint64, tail []byte) {
+	i := 0
+	for ; i+8 <= len(tail); i += 8 {
+		st[i>>3] ^= leUint64(tail[i:])
+	}
+	var last uint64
+	for j := len(tail) - 1; j >= i; j-- {
+		last = last<<8 | uint64(tail[j])
+	}
+	st[i>>3] ^= last
+	st[len(tail)>>3] ^= 0x01 << (8 * (uint(len(tail)) & 7))
+	st[(rate-1)>>3] ^= 0x80 << 56
+	keccakF1600(st)
+}
+
+// extract squeezes the 32-byte digest from a finalized state.
+func extract(st *[25]uint64) (out [32]byte) {
+	putLeUint64(out[0:], st[0])
+	putLeUint64(out[8:], st[1])
+	putLeUint64(out[16:], st[2])
+	putLeUint64(out[24:], st[3])
+	return out
+}
+
+// absorb runs the sponge over every input slice, permuting on full-rate
+// blocks taken directly from the inputs; sub-rate remainders and
+// cross-slice seams stage through buf. Returns the staged tail length.
+func absorb(st *[25]uint64, buf *[rate]byte, data [][]byte) int {
+	buffed := 0
+	for _, d := range data {
+		if buffed > 0 {
+			n := copy(buf[buffed:], d)
+			buffed += n
+			d = d[n:]
+			if buffed < rate {
+				continue
+			}
+			xorIn(st, buf[:])
+			keccakF1600(st)
+			buffed = 0
+		}
+		for len(d) >= rate {
+			xorIn(st, d)
+			keccakF1600(st)
+			d = d[rate:]
+		}
+		buffed = copy(buf[:], d)
+	}
+	return buffed
+}
+
+// Sum256 returns the Keccak-256 digest of the concatenation of the given
+// byte slices. The sponge lives on the stack and full-rate chunks are
+// absorbed directly from the inputs.
+func Sum256(data ...[]byte) [32]byte {
+	var st [25]uint64
+	var buf [rate]byte
+	finalize(&st, buf[:absorb(&st, &buf, data)])
+	return extract(&st)
+}
+
+// Sum256Into computes the digest like Sum256, squeezing the finalized
+// lanes directly into *out — the variant for callers hashing into an
+// existing field.
+func Sum256Into(out *[32]byte, data ...[]byte) {
+	var st [25]uint64
+	var buf [rate]byte
+	finalize(&st, buf[:absorb(&st, &buf, data)])
+	*out = extract(&st)
 }
 
 // Hasher is an incremental Keccak-256 hasher. The zero value is ready to
@@ -84,56 +131,52 @@ func (h *Hasher) Reset() {
 // Write absorbs p into the sponge. It never returns an error.
 func (h *Hasher) Write(p []byte) (int, error) {
 	n := len(p)
-	for len(p) > 0 {
-		space := rate - h.buffed
-		if space > len(p) {
-			space = len(p)
+	if h.buffed > 0 {
+		c := copy(h.buf[h.buffed:], p)
+		h.buffed += c
+		p = p[c:]
+		if h.buffed < rate {
+			return n, nil
 		}
-		copy(h.buf[h.buffed:], p[:space])
-		h.buffed += space
-		p = p[space:]
-		if h.buffed == rate {
-			h.absorb()
-		}
+		xorIn(&h.state, h.buf[:])
+		keccakF1600(&h.state)
+		h.buffed = 0
 	}
+	for len(p) >= rate {
+		xorIn(&h.state, p)
+		keccakF1600(&h.state)
+		p = p[rate:]
+	}
+	h.buffed = copy(h.buf[:], p)
 	return n, nil
 }
 
-func (h *Hasher) absorb() {
-	for i := 0; i < rate/8; i++ {
-		h.state[i] ^= leUint64(h.buf[i*8:])
-	}
-	keccakF1600(&h.state)
-	h.buffed = 0
-}
-
-// Sum256 finalizes a copy of the sponge and returns the 32-byte digest.
-// The hasher may continue to be written to afterwards.
+// Sum256 finalizes a clone of the sponge and returns the 32-byte digest;
+// the hasher may continue to be written to afterwards. Only the lane
+// state is cloned — the buffered tail is absorbed straight from h.buf,
+// so the non-destructive guarantee no longer costs a full Hasher copy.
 func (h *Hasher) Sum256() [32]byte {
-	// Work on a copy so Sum256 is non-destructive.
-	cp := *h
-	cp.buf[cp.buffed] = 0x01 // legacy Keccak domain padding
-	for i := cp.buffed + 1; i < rate; i++ {
-		cp.buf[i] = 0
-	}
-	cp.buf[rate-1] |= 0x80
-	cp.buffed = rate
-	cp.absorb()
-	var out [32]byte
-	for i := 0; i < 4; i++ {
-		putLeUint64(out[i*8:], cp.state[i])
-	}
-	return out
+	st := h.state
+	finalize(&st, h.buf[:h.buffed])
+	return extract(&st)
 }
 
-// Sum256 returns the Keccak-256 digest of the concatenation of the given
-// byte slices.
-func Sum256(data ...[]byte) [32]byte {
-	var h Hasher
-	for _, d := range data {
-		_, _ = h.Write(d)
-	}
-	return h.Sum256()
+// SumInto is Sum256 writing the digest to *out — the variant for
+// incremental users (trie node hashing, state commitment) that store
+// digests into existing fields.
+func (h *Hasher) SumInto(out *[32]byte) {
+	st := h.state
+	finalize(&st, h.buf[:h.buffed])
+	*out = extract(&st)
+}
+
+// Sum256Final finalizes the sponge in place and returns the digest,
+// skipping even the lane-state clone. Destructive: the hasher must be
+// Reset before any further use.
+func (h *Hasher) Sum256Final() [32]byte {
+	finalize(&h.state, h.buf[:h.buffed])
+	h.buffed = 0
+	return extract(&h.state)
 }
 
 func leUint64(b []byte) uint64 {

@@ -1,0 +1,95 @@
+package keccak
+
+import "math/bits"
+
+// keccakF1600 applies the 24-round Keccak-f[1600] permutation in place.
+//
+// The round body is fully unrolled: the 25 lanes live in locals for the
+// whole permutation (loaded once, stored once), theta's column parities
+// and D-values are lane-local temporaries instead of array round-trips,
+// and the rho rotations and pi lane permutation are folded into the
+// straight-line B assignments with literal source indices and rotation
+// constants — no %5 arithmetic, no inner loops, no bounds checks.
+// keccakF1600Generic keeps the readable loop form; the two are pinned
+// bit-identical by TestUnrolledMatchesGeneric and FuzzF1600.
+func keccakF1600(st *[25]uint64) {
+	a0, a1, a2, a3, a4 := st[0], st[1], st[2], st[3], st[4]
+	a5, a6, a7, a8, a9 := st[5], st[6], st[7], st[8], st[9]
+	a10, a11, a12, a13, a14 := st[10], st[11], st[12], st[13], st[14]
+	a15, a16, a17, a18, a19 := st[15], st[16], st[17], st[18], st[19]
+	a20, a21, a22, a23, a24 := st[20], st[21], st[22], st[23], st[24]
+
+	for _, rc := range roundConstants {
+		// Theta: column parities and the per-column D masks.
+		bc0 := a0 ^ a5 ^ a10 ^ a15 ^ a20
+		bc1 := a1 ^ a6 ^ a11 ^ a16 ^ a21
+		bc2 := a2 ^ a7 ^ a12 ^ a17 ^ a22
+		bc3 := a3 ^ a8 ^ a13 ^ a18 ^ a23
+		bc4 := a4 ^ a9 ^ a14 ^ a19 ^ a24
+		d0 := bc4 ^ bits.RotateLeft64(bc1, 1)
+		d1 := bc0 ^ bits.RotateLeft64(bc2, 1)
+		d2 := bc1 ^ bits.RotateLeft64(bc3, 1)
+		d3 := bc2 ^ bits.RotateLeft64(bc4, 1)
+		d4 := bc3 ^ bits.RotateLeft64(bc0, 1)
+
+		// Rho + Pi fused: b[y + 5*((2x+3y)%5)] = rotl(a[x+5y] ^ d[x], r[x][y]).
+		b0 := a0 ^ d0
+		b1 := bits.RotateLeft64(a6^d1, 44)
+		b2 := bits.RotateLeft64(a12^d2, 43)
+		b3 := bits.RotateLeft64(a18^d3, 21)
+		b4 := bits.RotateLeft64(a24^d4, 14)
+		b5 := bits.RotateLeft64(a3^d3, 28)
+		b6 := bits.RotateLeft64(a9^d4, 20)
+		b7 := bits.RotateLeft64(a10^d0, 3)
+		b8 := bits.RotateLeft64(a16^d1, 45)
+		b9 := bits.RotateLeft64(a22^d2, 61)
+		b10 := bits.RotateLeft64(a1^d1, 1)
+		b11 := bits.RotateLeft64(a7^d2, 6)
+		b12 := bits.RotateLeft64(a13^d3, 25)
+		b13 := bits.RotateLeft64(a19^d4, 8)
+		b14 := bits.RotateLeft64(a20^d0, 18)
+		b15 := bits.RotateLeft64(a4^d4, 27)
+		b16 := bits.RotateLeft64(a5^d0, 36)
+		b17 := bits.RotateLeft64(a11^d1, 10)
+		b18 := bits.RotateLeft64(a17^d2, 15)
+		b19 := bits.RotateLeft64(a23^d3, 56)
+		b20 := bits.RotateLeft64(a2^d2, 62)
+		b21 := bits.RotateLeft64(a8^d3, 55)
+		b22 := bits.RotateLeft64(a14^d4, 39)
+		b23 := bits.RotateLeft64(a15^d0, 41)
+		b24 := bits.RotateLeft64(a21^d1, 2)
+
+		// Chi row-wise, with Iota folded into lane 0.
+		a0 = b0 ^ (^b1 & b2) ^ rc
+		a1 = b1 ^ (^b2 & b3)
+		a2 = b2 ^ (^b3 & b4)
+		a3 = b3 ^ (^b4 & b0)
+		a4 = b4 ^ (^b0 & b1)
+		a5 = b5 ^ (^b6 & b7)
+		a6 = b6 ^ (^b7 & b8)
+		a7 = b7 ^ (^b8 & b9)
+		a8 = b8 ^ (^b9 & b5)
+		a9 = b9 ^ (^b5 & b6)
+		a10 = b10 ^ (^b11 & b12)
+		a11 = b11 ^ (^b12 & b13)
+		a12 = b12 ^ (^b13 & b14)
+		a13 = b13 ^ (^b14 & b10)
+		a14 = b14 ^ (^b10 & b11)
+		a15 = b15 ^ (^b16 & b17)
+		a16 = b16 ^ (^b17 & b18)
+		a17 = b17 ^ (^b18 & b19)
+		a18 = b18 ^ (^b19 & b15)
+		a19 = b19 ^ (^b15 & b16)
+		a20 = b20 ^ (^b21 & b22)
+		a21 = b21 ^ (^b22 & b23)
+		a22 = b22 ^ (^b23 & b24)
+		a23 = b23 ^ (^b24 & b20)
+		a24 = b24 ^ (^b20 & b21)
+	}
+
+	st[0], st[1], st[2], st[3], st[4] = a0, a1, a2, a3, a4
+	st[5], st[6], st[7], st[8], st[9] = a5, a6, a7, a8, a9
+	st[10], st[11], st[12], st[13], st[14] = a10, a11, a12, a13, a14
+	st[15], st[16], st[17], st[18], st[19] = a15, a16, a17, a18, a19
+	st[20], st[21], st[22], st[23], st[24] = a20, a21, a22, a23, a24
+}

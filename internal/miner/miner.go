@@ -267,7 +267,10 @@ func (m *Miner) BuildBlock(timestamp uint64) (*types.Block, error) {
 	if err != nil {
 		return nil, fmt.Errorf("build block %d: %w", header.Number, err)
 	}
-	header.TxRoot = types.DeriveTxRoot(body)
+	// Deriving the root through the block memoizes it on the instance
+	// every peer will import, so no importer ever re-derives it.
+	block := &types.Block{Header: header, Txs: body}
+	header.TxRoot = block.TxRoot()
 	header.ReceiptRoot = types.DeriveReceiptRoot(receipts)
 	header.StateRoot = post.Root()
 	header.GasUsed = gasUsed
@@ -278,5 +281,5 @@ func (m *Miner) BuildBlock(timestamp uint64) (*types.Block, error) {
 	// the cache must only hold importer-side replays, so the miner's own
 	// self-import performs the one honest replay (with full header
 	// verification) that every other peer's root comparison then rests on.
-	return &types.Block{Header: header, Txs: body}, nil
+	return block, nil
 }

@@ -141,7 +141,10 @@ type Stats struct {
 	BlocksRejected uint64
 }
 
-var _ p2p.Handler = (*Node)(nil)
+var (
+	_ p2p.Handler        = (*Node)(nil)
+	_ p2p.TxBatchHandler = (*Node)(nil)
+)
 
 // New builds a node and joins it to the network.
 func New(cfg Config) (*Node, error) {
@@ -251,6 +254,27 @@ func (n *Node) SubmitTx(tx *types.Transaction) error {
 	return nil
 }
 
+// SubmitTxs admits a batch of locally-created transactions under one
+// pool lock acquisition and gossips the admitted ones as ONE batched
+// envelope. Per-transaction failures don't abort the batch; the first
+// error (if any) is returned after the admitted remainder is broadcast.
+func (n *Node) SubmitTxs(txs []*types.Transaction) error {
+	admitted, errs := n.pool.AdmitBatch(txs)
+	var firstErr error
+	shared := admitted[:0]
+	for i, tx := range admitted {
+		if tx != nil {
+			shared = append(shared, tx)
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("node %d submit batch [%d]: %w", n.id, i, errs[i])
+		}
+	}
+	if len(shared) > 0 {
+		n.net.BroadcastTxs(n.id, shared)
+	}
+	return firstErr
+}
+
 // HandleTx implements p2p.Handler.
 func (n *Node) HandleTx(_ p2p.PeerID, tx *types.Transaction) {
 	n.mu.Lock()
@@ -261,6 +285,25 @@ func (n *Node) HandleTx(_ p2p.PeerID, tx *types.Transaction) {
 		n.stats.TxRejected++
 		n.mu.Unlock()
 	}
+}
+
+// HandleTxs implements p2p.TxBatchHandler: a batched gossip envelope is
+// admitted through txpool.AdmitBatch — one lock acquisition and one
+// subscriber flush for the whole batch instead of per-transaction
+// locking — with the same per-transaction admission semantics HandleTx
+// would apply.
+func (n *Node) HandleTxs(_ p2p.PeerID, txs []*types.Transaction) {
+	_, errs := n.pool.AdmitBatch(txs)
+	rejected := uint64(0)
+	for _, err := range errs {
+		if err != nil {
+			rejected++
+		}
+	}
+	n.mu.Lock()
+	n.stats.TxSeen += uint64(len(txs))
+	n.stats.TxRejected += rejected
+	n.mu.Unlock()
 }
 
 // HandleBlock implements p2p.Handler: validate by replay and adopt. A

@@ -345,3 +345,66 @@ func TestModeString(t *testing.T) {
 		t.Error("mode strings wrong")
 	}
 }
+
+func TestSubmitTxsBatchGossip(t *testing.T) {
+	f := newFixture(t,
+		Config{Mode: ModeGeth, Miner: MinerBaseline},
+		Config{Mode: ModeGeth},
+		Config{Mode: ModeSereth},
+	)
+	// A batch of chained sets plus one invalid (unregistered-signer) tx:
+	// the valid ones must be admitted and gossiped, the invalid one
+	// reported without aborting the batch.
+	mallory := wallet.NewKey("mallory") // not registered
+	prev := types.ZeroWord
+	var txs []*types.Transaction
+	for i := 0; i < 4; i++ {
+		v := types.WordFromUint64(uint64(i + 5))
+		flag := types.FlagChain
+		if i == 0 {
+			flag = types.FlagHead
+		}
+		txs = append(txs, f.owner.SignTx(&types.Transaction{
+			Nonce:    uint64(i),
+			To:       contractAddr,
+			GasPrice: 10,
+			GasLimit: 300_000,
+			Data:     types.EncodeCall(asm.SelSet, flag, prev, v),
+		}))
+		prev = types.NextMark(prev, v)
+	}
+	bad := mallory.SignTx(&types.Transaction{Nonce: 0, To: contractAddr, GasPrice: 10, GasLimit: 21_000})
+	txs = append(txs, bad)
+
+	if err := f.nodes[1].SubmitTxs(txs); err == nil {
+		t.Fatal("invalid batch member not reported")
+	}
+	f.net.AdvanceTo(10)
+	for i, n := range f.nodes {
+		for j, tx := range txs[:4] {
+			if !n.Pool().Has(tx.Hash()) {
+				t.Errorf("node %d missing batched tx %d", i+1, j)
+			}
+		}
+		if n.Pool().Has(bad.Hash()) {
+			t.Errorf("node %d admitted the invalid tx", i+1)
+		}
+	}
+	// Receiving peers saw the admitted remainder as one batched envelope
+	// (the invalid member was filtered at the submitting pool and never
+	// hit the wire).
+	for _, idx := range []int{0, 2} {
+		st := f.nodes[idx].Stats()
+		if st.TxSeen != 4 || st.TxRejected != 0 {
+			t.Errorf("node %d stats = %+v, want TxSeen=4 TxRejected=0", idx+1, st)
+		}
+	}
+	// The batch must be minable: the miner's next block includes them.
+	block, err := f.nodes[0].MineAndBroadcast(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Txs) != 4 {
+		t.Errorf("mined %d txs, want 4", len(block.Txs))
+	}
+}

@@ -34,6 +34,14 @@ type Handler interface {
 	HandleBlockRequest(from PeerID, fromNumber uint64)
 }
 
+// TxBatchHandler is the optional batch extension of Handler: a peer that
+// implements it receives a BroadcastTxs envelope as one HandleTxs call —
+// letting it admit the whole batch under a single pool lock acquisition
+// (txpool.AdmitBatch) — instead of len(txs) HandleTx calls.
+type TxBatchHandler interface {
+	HandleTxs(from PeerID, txs []*types.Transaction)
+}
+
 // Config parameterizes the simulated network.
 type Config struct {
 	// LatencyMs is the one-hop gossip delay in model milliseconds.
@@ -58,6 +66,7 @@ const (
 	MsgTx MsgKind = iota + 1
 	MsgBlock
 	MsgBlockRequest
+	MsgTxBatch
 )
 
 func (k MsgKind) String() string {
@@ -68,6 +77,8 @@ func (k MsgKind) String() string {
 		return "block"
 	case MsgBlockRequest:
 		return "blockreq"
+	case MsgTxBatch:
+		return "txbatch"
 	default:
 		return "unknown"
 	}
@@ -83,6 +94,7 @@ type envelope struct {
 	from      PeerID
 	to        []PeerID // recipients in ascending id order
 	tx        *types.Transaction
+	txs       []*types.Transaction // MsgTxBatch payload, shared immutable
 	block     *types.Block
 	number    uint64
 	relay     bool       // multihop gossip: recipients re-forward on delivery
@@ -237,6 +249,39 @@ func (n *Network) BroadcastTx(from PeerID, tx *types.Transaction) {
 	env := &envelope{kind: MsgTx, from: from, tx: tx}
 	if n.topo != nil {
 		env.id = tx.Hash()
+	}
+	n.gossip(env)
+}
+
+// BroadcastTxs gossips a batch of transactions as ONE envelope: one
+// schedule operation, one delivery per recipient, and — for recipients
+// implementing TxBatchHandler — one batched pool admission. Memoized
+// transactions are shared as-is; unmemoized ones are copied once and
+// frozen, exactly like BroadcastTx. The batch's multihop identity is the
+// Keccak of the concatenated member hashes.
+func (n *Network) BroadcastTxs(from PeerID, txs []*types.Transaction) {
+	if len(txs) == 0 {
+		return
+	}
+	if len(txs) == 1 {
+		n.BroadcastTx(from, txs[0])
+		return
+	}
+	shared := make([]*types.Transaction, len(txs))
+	for i, tx := range txs {
+		if !tx.Memoized() {
+			tx = tx.Copy().Memoize()
+		}
+		shared[i] = tx
+	}
+	env := &envelope{kind: MsgTxBatch, from: from, txs: shared}
+	if n.topo != nil {
+		hashes := make([][]byte, len(shared))
+		for i, tx := range shared {
+			h := tx.Hash()
+			hashes[i] = h.Bytes()
+		}
+		env.id = types.Keccak(hashes...)
 	}
 	n.gossip(env)
 }
@@ -420,6 +465,14 @@ func (n *Network) deliver(env *envelope, hs []Handler, tracer func(TraceEvent)) 
 			switch env.kind {
 			case MsgTx:
 				h.HandleTx(env.from, env.tx)
+			case MsgTxBatch:
+				if bh, ok := h.(TxBatchHandler); ok {
+					bh.HandleTxs(env.from, env.txs)
+				} else {
+					for _, tx := range env.txs {
+						h.HandleTx(env.from, tx)
+					}
+				}
 			case MsgBlock:
 				h.HandleBlock(env.from, env.block)
 			case MsgBlockRequest:
@@ -437,7 +490,7 @@ func (n *Network) deliver(env *envelope, hs []Handler, tracer func(TraceEvent)) 
 func (n *Network) relayFrom(from PeerID, env *envelope) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	fwd := &envelope{kind: env.kind, from: from, tx: env.tx, block: env.block, relay: true, id: env.id}
+	fwd := &envelope{kind: env.kind, from: from, tx: env.tx, txs: env.txs, block: env.block, relay: true, id: env.id}
 	fwd.to = n.recipientsLocked(from, n.neighborsLocked(from), env.kind, &fwd.id)
 	if len(fwd.to) == 0 {
 		return

@@ -450,3 +450,90 @@ func TestConcurrentBroadcastAndAdvance(t *testing.T) {
 		t.Error("no traffic recorded")
 	}
 }
+
+// batchRecorder implements TxBatchHandler: batched envelopes arrive as
+// one HandleTxs call instead of per-tx fallbacks.
+type batchRecorder struct {
+	recorder
+	batches [][]*types.Transaction
+}
+
+func (r *batchRecorder) HandleTxs(from PeerID, txs []*types.Transaction) {
+	r.batches = append(r.batches, txs)
+	r.txs = append(r.txs, txs...)
+}
+
+func TestBroadcastTxsBatchAndFallback(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 5})
+	plain, batch := &recorder{}, &batchRecorder{}
+	net.Join(1, &recorder{})
+	net.Join(2, plain)
+	net.Join(3, batch)
+
+	txs := []*types.Transaction{sampleTx(1), sampleTx(2), sampleTx(3)}
+	net.BroadcastTxs(1, txs)
+	net.AdvanceTo(5)
+
+	// The batch-aware peer got ONE call carrying the whole batch.
+	if len(batch.batches) != 1 || len(batch.batches[0]) != 3 {
+		t.Fatalf("batch peer saw %d calls", len(batch.batches))
+	}
+	// The plain peer got the per-tx fallback, same payloads, same order.
+	if len(plain.txs) != 3 {
+		t.Fatalf("fallback peer saw %d txs", len(plain.txs))
+	}
+	for i := range txs {
+		if plain.txs[i].Hash() != txs[i].Hash() || batch.txs[i].Hash() != txs[i].Hash() {
+			t.Errorf("delivery %d diverges from submission order", i)
+		}
+	}
+	// Both recipients share ONE frozen instance per tx — no per-recipient
+	// copies.
+	for i := range txs {
+		if plain.txs[i] != batch.txs[i] {
+			t.Errorf("tx %d copied per recipient", i)
+		}
+		if !plain.txs[i].Memoized() {
+			t.Errorf("tx %d delivered unmemoized", i)
+		}
+	}
+}
+
+func TestBroadcastTxsSingletonDegradesToTx(t *testing.T) {
+	net := NewNetwork(Config{LatencyMs: 1})
+	batch := &batchRecorder{}
+	net.Join(1, &recorder{})
+	net.Join(2, batch)
+	net.BroadcastTxs(1, []*types.Transaction{sampleTx(9)})
+	net.BroadcastTxs(1, nil)
+	net.Drain()
+	if len(batch.batches) != 0 {
+		t.Error("single-tx batch did not degrade to a plain tx gossip")
+	}
+	if len(batch.txs) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(batch.txs))
+	}
+}
+
+func TestBroadcastTxsRelaysOnceOnMultihop(t *testing.T) {
+	// On a ring every peer must see the batch exactly once: the batch id
+	// (keccak over member hashes) drives the same seen-cache dedup as
+	// single-tx gossip.
+	net := NewNetwork(Config{LatencyMs: 1, Topology: Ring()})
+	const peers = 8
+	sinks := make([]*batchRecorder, peers+1)
+	for id := 1; id <= peers; id++ {
+		sinks[id] = &batchRecorder{}
+		net.Join(PeerID(id), sinks[id])
+	}
+	net.BroadcastTxs(1, []*types.Transaction{sampleTx(1), sampleTx(2)})
+	net.Drain()
+	for id := 2; id <= peers; id++ {
+		if len(sinks[id].batches) != 1 {
+			t.Errorf("peer %d saw the batch %d times", id, len(sinks[id].batches))
+		}
+	}
+	if len(sinks[1].batches) != 0 {
+		t.Error("originator received its own batch")
+	}
+}

@@ -1,0 +1,75 @@
+package scenarios
+
+import (
+	"testing"
+
+	"sereth/internal/txpool"
+	"sereth/internal/types"
+)
+
+// AdmissionTxs builds n distinct HMS set transactions so every admission
+// pays the full derived-data memoization (identity hash + fused mark:
+// two sponge finalizations per tx).
+func AdmissionTxs(n int) []*types.Transaction {
+	sel := types.SelectorFor("set(bytes32[3])")
+	txs := make([]*types.Transaction, n)
+	for i := range txs {
+		txs[i] = &types.Transaction{
+			Nonce:    uint64(i),
+			To:       types.Address{19: 0xcc},
+			GasPrice: 10,
+			GasLimit: 300_000,
+			Data:     types.EncodeCall(sel, types.FlagChain, types.WordFromUint64(uint64(i)), types.WordFromUint64(uint64(i+1))),
+			From:     types.Address{19: 0x01},
+		}
+	}
+	return txs
+}
+
+// BenchTxAdmission is the shared body of the per-transaction pool
+// admission benchmark (root BenchmarkTxAdmission and the serethbench
+// txpool/admit row): copy, identity hash, duplicate check, memoization
+// and change-feed notification — the per-peer cost every gossiped
+// transaction pays.
+func BenchTxAdmission(b *testing.B) {
+	const cycle = 4096
+	txs := AdmissionTxs(cycle)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pool *txpool.Pool
+	for i := 0; i < b.N; i++ {
+		if i%cycle == 0 {
+			b.StopTimer()
+			pool = txpool.New()
+			b.StartTimer()
+		}
+		if _, err := pool.Admit(txs[i%cycle]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchAdmitBatch100 is the shared body of the batched-admission
+// benchmark: one 100-tx gossip envelope admitted under one lock
+// acquisition with one subscriber flush (ns/op is per batch).
+func BenchAdmitBatch100(b *testing.B) {
+	const batch = 100
+	txs := AdmissionTxs(batch * 41)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pool *txpool.Pool
+	for i := 0; i < b.N; i++ {
+		start := (i * batch) % len(txs)
+		if start == 0 {
+			b.StopTimer()
+			pool = txpool.New()
+			b.StartTimer()
+		}
+		admitted, errs := pool.AdmitBatch(txs[start : start+batch])
+		for j, tx := range admitted {
+			if tx == nil {
+				b.Fatal(errs[j])
+			}
+		}
+	}
+}

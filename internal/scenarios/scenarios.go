@@ -231,14 +231,17 @@ func NewReplayFixture(n int) *ReplayFixture {
 	if err != nil {
 		panic(fmt.Sprintf("scenarios: replay fixture: %v", err))
 	}
-	header.TxRoot = types.DeriveTxRoot(txs)
+	// Like the miner, derive the root through the shared block so every
+	// importing consumer reuses the memoized value.
+	block := &types.Block{Header: header, Txs: txs}
+	header.TxRoot = block.TxRoot()
 	header.ReceiptRoot = types.DeriveReceiptRoot(receipts)
 	header.StateRoot = post.Root()
 	header.GasUsed = gasUsed
 	return &ReplayFixture{
 		Registry: reg,
 		Genesis:  genesis,
-		Block:    &types.Block{Header: header, Txs: txs},
+		Block:    block,
 		gasLimit: gasLimit,
 	}
 }

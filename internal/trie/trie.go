@@ -365,7 +365,7 @@ func childRef(n node) rlp.Item {
 // hashRef returns the node's by-hash reference, memoizing the Keccak.
 func (c *nodeCache) hashRef(enc []byte) rlp.Item {
 	if !c.hashed {
-		c.hash = keccak.Sum256(enc)
+		keccak.Sum256Into((*[32]byte)(&c.hash), enc)
 		c.hashed = true
 	}
 	return rlp.String(c.hash[:])

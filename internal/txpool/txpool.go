@@ -218,9 +218,74 @@ func (p *Pool) Admit(tx *types.Transaction) (*types.Transaction, error) {
 	hash := tx.Hash()
 
 	p.mu.Lock()
-	if _, known := p.all[hash]; known {
+	if err := p.admitLocked(tx, hash); err != nil {
 		p.mu.Unlock()
-		return nil, ErrAlreadyKnown
+		return nil, err
+	}
+	subs := p.subs
+	p.mu.Unlock()
+
+	for _, fn := range subs {
+		fn(tx.Copy())
+	}
+	return tx, nil
+}
+
+// AdmitBatch admits a batch of transactions under ONE lock acquisition:
+// validation, copying and identity hashing happen outside the lock, the
+// per-transaction admission decisions (duplicate, replacement, capacity)
+// run back-to-back inside it, and subscriber fan-out happens once after
+// release. Results align with txs: admitted[i] is the pool's memoized
+// instance when errs[i] is nil, and nil otherwise. Admission order —
+// and therefore the change feed watchers observe — is exactly the order
+// of txs, identical to a sequence of individual Admit calls.
+func (p *Pool) AdmitBatch(txs []*types.Transaction) (admitted []*types.Transaction, errs []error) {
+	admitted = make([]*types.Transaction, len(txs))
+	errs = make([]error, len(txs))
+	hashes := make([]types.Hash, len(txs))
+	for i, tx := range txs {
+		if p.validate != nil {
+			if err := p.validate(tx); err != nil {
+				errs[i] = fmt.Errorf("%w: %v", ErrRejected, err)
+				continue
+			}
+		}
+		cp := tx.Copy()
+		hashes[i] = cp.Hash()
+		admitted[i] = cp
+	}
+
+	p.mu.Lock()
+	for i, tx := range admitted {
+		if tx == nil {
+			continue // failed validation above
+		}
+		if err := p.admitLocked(tx, hashes[i]); err != nil {
+			admitted[i], errs[i] = nil, err
+		}
+	}
+	subs := p.subs
+	p.mu.Unlock()
+
+	if len(subs) > 0 {
+		for _, tx := range admitted {
+			if tx == nil {
+				continue
+			}
+			for _, fn := range subs {
+				fn(tx.Copy())
+			}
+		}
+	}
+	return admitted, errs
+}
+
+// admitLocked runs the admission decision for a private, hashed copy:
+// duplicate and replacement checks, capacity policy, memoization and
+// index insertion, plus the synchronous change feed. Callers hold p.mu.
+func (p *Pool) admitLocked(tx *types.Transaction, hash types.Hash) error {
+	if _, known := p.all[hash]; known {
+		return ErrAlreadyKnown
 	}
 	var prevHash types.Hash
 	var replacing bool
@@ -232,14 +297,12 @@ func (p *Pool) Admit(tx *types.Transaction) (*types.Transaction, error) {
 		// capacity.
 		prev := p.all[prevHash]
 		if tx.GasPrice <= prev.GasPrice {
-			p.mu.Unlock()
-			return nil, ErrUnderpriced
+			return ErrUnderpriced
 		}
 		p.removeLocked(prevHash)
 	} else if len(p.all) >= p.capacity {
 		if !p.evictLowest || !p.evictLowestLocked(tx.GasPrice) {
-			p.mu.Unlock()
-			return nil, ErrPoolFull
+			return ErrPoolFull
 		}
 	}
 	// Look the nonce map up after the removal above: evicting the
@@ -258,13 +321,7 @@ func (p *Pool) Admit(tx *types.Transaction) (*types.Transaction, error) {
 	p.arrival = append(p.arrival, hash)
 	nonces[tx.Nonce] = hash
 	p.changedLocked(TxAdded, tx)
-	subs := p.subs
-	p.mu.Unlock()
-
-	for _, fn := range subs {
-		fn(tx.Copy())
-	}
-	return tx, nil
+	return nil
 }
 
 // evictLowestLocked frees one slot for a newcomer paying price by

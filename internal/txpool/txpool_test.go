@@ -635,3 +635,116 @@ func TestRejectOverflowWithoutEvictOption(t *testing.T) {
 		t.Error("phantom eviction")
 	}
 }
+
+// TestAdmitBatchMatchesSequentialAdmit pins the batched path to the
+// exact semantics of a sequence of individual Admit calls: same
+// admitted set, same per-transaction errors, same change-feed order.
+func TestAdmitBatchMatchesSequentialAdmit(t *testing.T) {
+	batch := []*types.Transaction{
+		tx(1, 0, 10),
+		tx(2, 0, 10),
+		tx(1, 0, 10), // duplicate of [0]
+		tx(1, 0, 5),  // underpriced replacement of [0]
+		tx(1, 0, 20), // valid replacement of [0]
+		tx(3, 0, 10),
+	}
+
+	seq := New()
+	var seqChanges []Change
+	seq.Watch(func(c Change) { seqChanges = append(seqChanges, c) })
+	seqErrs := make([]error, len(batch))
+	for i, x := range batch {
+		_, seqErrs[i] = seq.Admit(x)
+	}
+
+	batched := New()
+	var batchChanges []Change
+	batched.Watch(func(c Change) { batchChanges = append(batchChanges, c) })
+	admitted, errs := batched.AdmitBatch(batch)
+
+	for i := range batch {
+		if (errs[i] == nil) != (seqErrs[i] == nil) || !errors.Is(errs[i], unwrapTarget(seqErrs[i])) {
+			t.Errorf("tx %d: batch err %v, sequential err %v", i, errs[i], seqErrs[i])
+		}
+		if (admitted[i] != nil) != (errs[i] == nil) {
+			t.Errorf("tx %d: admitted/err misaligned", i)
+		}
+		if admitted[i] != nil && !admitted[i].Memoized() {
+			t.Errorf("tx %d: admitted instance not memoized", i)
+		}
+	}
+	if seq.Len() != batched.Len() {
+		t.Fatalf("pool sizes diverge: %d vs %d", seq.Len(), batched.Len())
+	}
+	if len(seqChanges) != len(batchChanges) {
+		t.Fatalf("change feeds diverge: %d vs %d events", len(seqChanges), len(batchChanges))
+	}
+	for i := range seqChanges {
+		if seqChanges[i].Kind != batchChanges[i].Kind ||
+			seqChanges[i].Gen != batchChanges[i].Gen ||
+			seqChanges[i].Tx.Hash() != batchChanges[i].Tx.Hash() {
+			t.Errorf("change %d diverges: %+v vs %+v", i, seqChanges[i], batchChanges[i])
+		}
+	}
+	a, _ := seq.Snapshot()
+	b, _ := batched.Snapshot()
+	for i := range a {
+		if a[i].Hash() != b[i].Hash() {
+			t.Errorf("arrival order diverges at %d", i)
+		}
+	}
+}
+
+// unwrapTarget maps a wrapped pool error to its sentinel for errors.Is
+// comparison (nil stays nil, which errors.Is treats as match-on-nil).
+func unwrapTarget(err error) error {
+	for _, sentinel := range []error{ErrAlreadyKnown, ErrUnderpriced, ErrPoolFull, ErrRejected} {
+		if errors.Is(err, sentinel) {
+			return sentinel
+		}
+	}
+	return err
+}
+
+func TestAdmitBatchValidatorAndIsolation(t *testing.T) {
+	p := New(WithValidator(func(x *types.Transaction) error {
+		if x.GasPrice == 0 {
+			return errors.New("zero price")
+		}
+		return nil
+	}))
+	batch := []*types.Transaction{tx(1, 0, 10), tx(2, 0, 0), tx(3, 0, 10)}
+	admitted, errs := p.AdmitBatch(batch)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid txs rejected: %v %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], ErrRejected) || admitted[1] != nil {
+		t.Fatalf("validator miss: %v", errs[1])
+	}
+	// The pool must hold private copies: mutating the caller's instances
+	// afterwards must not reach the admitted ones.
+	batch[0].Data[0] ^= 0xff
+	if admitted[0].Data[0] == batch[0].Data[0] {
+		t.Error("AdmitBatch shares the caller's Data slice")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d, want 2", p.Len())
+	}
+}
+
+func TestAdmitBatchNotifiesSubscribersOnce(t *testing.T) {
+	p := New()
+	var got []types.Hash
+	p.Subscribe(func(x *types.Transaction) { got = append(got, x.Hash()) })
+	batch := []*types.Transaction{tx(1, 0, 10), tx(1, 0, 10), tx(2, 0, 10)}
+	admitted, _ := p.AdmitBatch(batch)
+	want := []types.Hash{admitted[0].Hash(), admitted[2].Hash()}
+	if len(got) != len(want) {
+		t.Fatalf("subscriber saw %d txs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("subscriber order diverges at %d", i)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package types
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"sereth/internal/rlp"
 )
@@ -96,10 +97,28 @@ func headerFromItem(it rlp.Item) (*Header, error) {
 type Block struct {
 	Header *Header
 	Txs    []*Transaction
+
+	// txRoot memoizes DeriveTxRoot(Txs) per block instance. In a
+	// multi-peer process one shared *Block is imported by every peer, so
+	// the ordered commitment is computed once instead of once per
+	// importer. The cache is bound to this instance's Txs slice: a block
+	// rebuilt with a different body (tampered or decoded) starts cold, so
+	// a memoized root can never vouch for a list it was not derived from.
+	txRootOnce sync.Once
+	txRoot     Hash
 }
 
 // Hash returns the block hash.
 func (b *Block) Hash() Hash { return b.Header.Hash() }
+
+// TxRoot returns DeriveTxRoot(b.Txs), computed once per block instance
+// and shared by every subsequent caller (importing peers, cache-hit
+// verification). Callers must not mutate Txs after the first call. Safe
+// for concurrent use.
+func (b *Block) TxRoot() Hash {
+	b.txRootOnce.Do(func() { b.txRoot = DeriveTxRoot(b.Txs) })
+	return b.txRoot
+}
 
 // Number returns the block height.
 func (b *Block) Number() uint64 { return b.Header.Number }

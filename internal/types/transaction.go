@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sereth/internal/keccak"
 	"sereth/internal/rlp"
 )
 
@@ -65,7 +66,13 @@ func (tx *Transaction) MemoizeWithHash(hash Hash) *Transaction {
 	d.sel, d.selOK = CallSelector(tx.Data)
 	d.fpv, d.fpvErr = DecodeFPV(tx.Data)
 	if d.fpvErr == nil {
-		d.mark = NextMark(d.fpv.PrevMark, d.fpv.Value)
+		// Fused mark derivation: mark = Keccak(prevMark ‖ value), and in
+		// the calldata layout selector ‖ flag ‖ prevMark ‖ value those 64
+		// bytes are contiguous — absorb them straight from the payload the
+		// identity-hash sponge just consumed, instead of re-staging the
+		// two words through an FPV copy. Equals NextMark(PrevMark, Value)
+		// bit-for-bit (pinned by TestMemoizedMarkMatchesNextMark).
+		d.mark = Word(keccak.Sum256(tx.Data[SelectorLength+WordLength : SelectorLength+3*WordLength]))
 	}
 	tx.derived = d
 	return tx

@@ -2,6 +2,7 @@ package types
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -229,6 +230,73 @@ func TestSealHashIgnoresNonce(t *testing.T) {
 	}
 	if cp.Hash() == b.Header.Hash() {
 		t.Error("Hash must cover nonce")
+	}
+}
+
+// TestMemoizedMarkMatchesNextMark pins the fused mark derivation (one
+// contiguous absorb of calldata[36:100]) bit-identical to the spec form
+// NextMark(PrevMark, Value) = Keccak(prevMark ‖ value).
+func TestMemoizedMarkMatchesNextMark(t *testing.T) {
+	for i := uint64(0); i < 64; i++ {
+		prev, value := WordFromUint64(i*31+7), WordFromUint64(i*17+3)
+		tx := &Transaction{
+			Nonce: i,
+			Data:  EncodeCall(SelectorFor("set(bytes32[3])"), FlagChain, prev, value),
+		}
+		tx.Memoize()
+		mark, ok := tx.Mark()
+		if !ok {
+			t.Fatalf("tx %d: memoized mark missing", i)
+		}
+		if want := NextMark(prev, value); mark != want {
+			t.Fatalf("tx %d: fused mark %s != NextMark %s", i, mark.Hex(), want.Hex())
+		}
+	}
+}
+
+func TestBlockTxRootMemoized(t *testing.T) {
+	b := sampleBlock()
+	want := DeriveTxRoot(b.Txs)
+	if b.TxRoot() != want {
+		t.Fatal("TxRoot differs from DeriveTxRoot")
+	}
+	if b.TxRoot() != want {
+		t.Fatal("second TxRoot call changed the memoized value")
+	}
+	// Concurrent readers of a shared block must agree (the multi-peer
+	// import path shares one *Block across every importing chain).
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.TxRoot() != want {
+				t.Error("concurrent TxRoot diverged")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBlockTxRootNotSharedAcrossBodies is the memoization-safety
+// property the ExecCache's TxRoot check rests on: a block rebuilt with a
+// tampered transaction list is a new instance with a cold cache, so its
+// root is derived from the tampered list and can never echo the
+// original body's commitment.
+func TestBlockTxRootNotSharedAcrossBodies(t *testing.T) {
+	b := sampleBlock()
+	orig := b.TxRoot() // warm the original's cache
+	swapped := sampleTx()
+	swapped.Nonce = 1234
+	tampered := &Block{Header: b.Header, Txs: []*Transaction{swapped}}
+	if tampered.TxRoot() == orig {
+		t.Fatal("tampered body inherited the memoized root")
+	}
+	if tampered.TxRoot() != DeriveTxRoot(tampered.Txs) {
+		t.Fatal("tampered block's root not derived from its own txs")
+	}
+	if b.TxRoot() != orig {
+		t.Fatal("original block's memoized root was disturbed")
 	}
 }
 
