@@ -235,3 +235,17 @@ func BenchmarkScaleFigure2Peers50(b *testing.B) {
 	}
 	b.ReportMetric(etaSum/float64(b.N), "eta")
 }
+
+// E1b: interpreter dispatch — one Call executing a 100-instruction
+// loop through the jump table over pooled frames (pushes, stack
+// shuffles, arithmetic, a conditional jump). Tracks dispatch overhead
+// of the execution pipeline; body shared with the serethbench
+// evm/interp-100op row via internal/scenarios.
+func BenchmarkInterp100Op(b *testing.B) { scenarios.BenchInterp100Op(b) }
+
+// E2b: typed flat journal — snapshot, eight mutations across the entry
+// kinds, revert: the per-transaction journaling rhythm of
+// ApplyTransaction. The closure journal allocated per mutation; the
+// flat journal appends value structs into a reused slice. Body shared
+// with the serethbench statedb/journal-churn row.
+func BenchmarkJournalChurn(b *testing.B) { scenarios.BenchJournalChurn(b) }

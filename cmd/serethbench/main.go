@@ -89,6 +89,8 @@ func main() {
 	add(keccakBench("keccak/sum256-1KB", 1024))
 	add(txAdmission())
 	add(admitBatch100())
+	add(interp100Op())
+	add(journalChurn())
 
 	report := Report{
 		Date:      time.Now().Format("2006-01-02"),
@@ -277,6 +279,19 @@ func txAdmission() Record {
 // (ns/op is per batch: one lock acquisition, one subscriber flush).
 func admitBatch100() Record {
 	return benchRecord("txpool/admit-batch-100", testing.Benchmark(scenarios.BenchAdmitBatch100))
+}
+
+// interp100Op measures jump-table dispatch over pooled frames: one Call
+// executing a 100-instruction loop (ns/op is per program run).
+func interp100Op() Record {
+	return benchRecord("evm/interp-100op", testing.Benchmark(scenarios.BenchInterp100Op))
+}
+
+// journalChurn measures the typed flat journal's per-transaction rhythm:
+// snapshot, eight mutations, revert (ns/op is per churn cycle; the
+// acceptance mark is zero allocs in steady state).
+func journalChurn() Record {
+	return benchRecord("statedb/journal-churn", testing.Benchmark(scenarios.BenchJournalChurn))
 }
 
 func viewFromScratch() Record {

@@ -2,9 +2,11 @@
 // network: the Figure-2 sweep (transaction efficiency vs buy:set ratio
 // for the three client/miner configurations), the sequential-history
 // sanity check, the ablations catalogued in DESIGN.md §3, and the
-// sustained-overload mempool-eviction family. The -peers/-clients/
-// -topology/-degree flags rescale every experiment from the paper's
-// 3-peer rig to an N-peer population over an arbitrary gossip graph.
+// sustained-overload mempool-eviction family, and the burst-submission
+// family (buys shipped through the batched admission + gossip
+// pipeline). The -peers/-clients/-topology/-degree flags rescale every
+// experiment from the paper's 3-peer rig to an N-peer population over
+// an arbitrary gossip graph.
 //
 // Usage:
 //
@@ -31,7 +33,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("serethsim", flag.ContinueOnError)
 	experiment := fs.String("experiment", "figure2",
-		"one of: figure2, sequential, participation, gossip, interval, extendheads, overload, all")
+		"one of: figure2, sequential, participation, gossip, interval, extendheads, overload, burst, all")
 	runs := fs.Int("runs", 10, "seeded runs per data point")
 	quick := fs.Bool("quick", false, "smaller sweep for a fast check")
 	peers := fs.Int("peers", 0, "total peer count (miners + clients); 0 keeps the paper's 3-peer rig")
@@ -58,9 +60,10 @@ func run(args []string) error {
 		"interval":      runInterval,
 		"extendheads":   runExtendHeads,
 		"overload":      runOverload,
+		"burst":         runBurst,
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads", "overload"} {
+		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads", "overload", "burst"} {
 			fmt.Printf("\n=== %s ===\n", name)
 			if err := experiments[name](shape, seeds, *quick); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -220,6 +223,23 @@ func runExtendHeads(shape sim.Shape, seeds []int64, _ bool) error {
 	fmt.Println("HMS head extension vs η (paper §V-C: extension could approach 100%)")
 	for _, p := range points {
 		fmt.Printf("extended=%-5v  η=%.3f ±%.3f\n", p.Extended, p.Eta.Mean, p.Eta.CI90)
+	}
+	return nil
+}
+
+func runBurst(shape sim.Shape, seeds []int64, quick bool) error {
+	sizes := []int{1, 5, 10, 25}
+	if quick {
+		sizes = []int{1, 10}
+	}
+	points, err := sim.RunBurst(sizes, seeds, shape)
+	if err != nil {
+		return err
+	}
+	fmt.Println("burst submission: batched admission + ONE gossip envelope per client per burst")
+	for _, p := range points {
+		fmt.Printf("burst=%-3d  η=%.3f ±%.3f  msgs/run=%.0f\n",
+			p.BurstSize, p.Eta.Mean, p.Eta.CI90, p.Msgs.Mean)
 	}
 	return nil
 }

@@ -60,7 +60,8 @@ func DefaultConfig() Config {
 // Chain is an append-only blockchain with replay validation. Safe for
 // concurrent use.
 type Chain struct {
-	cfg Config
+	cfg  Config
+	proc *Processor
 
 	mu       sync.RWMutex
 	blocks   []*types.Block
@@ -82,6 +83,7 @@ func New(cfg Config, genesisState *statedb.StateDB) *Chain {
 	}}
 	c := &Chain{
 		cfg:      cfg,
+		proc:     NewProcessor(cfg),
 		blocks:   []*types.Block{genesis},
 		byHash:   map[types.Hash]*types.Block{genesis.Hash(): genesis},
 		receipts: map[types.Hash][]*types.Receipt{},
@@ -89,6 +91,9 @@ func New(cfg Config, genesisState *statedb.StateDB) *Chain {
 	}
 	return c
 }
+
+// Processor returns the chain's block-execution pipeline.
+func (c *Chain) Processor() *Processor { return c.proc }
 
 // Config returns the chain configuration.
 func (c *Chain) Config() Config { return c.cfg }
@@ -142,104 +147,50 @@ func (c *Chain) ReadState(fn func(*statedb.StateDB)) {
 	fn(c.state)
 }
 
-// ApplyTransaction executes one transaction against st. It returns the
-// receipt; the error return is reserved for transactions that may not
-// appear in a block at all (bad signature / nonce). Logical failures
-// (reverts, EVM faults, contract-reported no-ops) produce a Failed
-// receipt with every state effect rolled back.
+// ReadHeadState runs fn against the head block AND the live head state
+// under one lock acquisition, so callers observe a consistent
+// (header, state) pair — reading Head() and then locking separately
+// can tear across a concurrent import. fn must not mutate the state.
+func (c *Chain) ReadHeadState(fn func(head *types.Block, st *statedb.StateDB)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(c.blocks[len(c.blocks)-1], c.state)
+}
+
+// ApplyTransaction executes one transaction against st through the
+// chain's processor. It returns the receipt; the error return is
+// reserved for transactions that may not appear in a block at all (bad
+// signature / nonce). Logical failures (reverts, EVM faults,
+// contract-reported no-ops) produce a Failed receipt with every state
+// effect rolled back.
 func (c *Chain) ApplyTransaction(st *statedb.StateDB, header *types.Header, tx *types.Transaction, txIndex int) (*types.Receipt, error) {
-	if c.cfg.Registry != nil {
-		if err := c.cfg.Registry.VerifyTx(tx); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadSignature, err)
-		}
-	}
-	if st.GetNonce(tx.From) != tx.Nonce {
-		return nil, fmt.Errorf("%w: account %d, tx %d", ErrBadNonce, st.GetNonce(tx.From), tx.Nonce)
-	}
-	st.SetNonce(tx.From, tx.Nonce+1)
-
-	intrinsic := evm.IntrinsicGas(tx.Data)
-	receipt := &types.Receipt{
-		TxHash:      tx.Hash(),
-		BlockNumber: header.Number,
-		TxIndex:     txIndex,
-	}
-	if intrinsic > tx.GasLimit {
-		receipt.Status = types.StatusFailed
-		receipt.GasUsed = tx.GasLimit
-		return receipt, nil
-	}
-
-	snap := st.Snapshot()
-	if tx.Value > 0 {
-		if !st.SubBalance(tx.From, tx.Value) {
-			receipt.Status = types.StatusFailed
-			receipt.GasUsed = intrinsic
-			return receipt, nil
-		}
-		st.AddBalance(tx.To, tx.Value)
-	}
-	// The contract no-op check below must compare against the journal
-	// position AFTER the value transfer: comparing against snap would let
-	// the transfer's own journal entries read as contract activity and
-	// misclassify a contract-rejected no-op as succeeded whenever
-	// tx.Value > 0. Plain transfers (no code at the target) are exempt —
-	// moving value IS their state effect.
-	hasCode := len(st.GetCode(tx.To)) > 0
-	postTransfer := st.Snapshot()
-
-	// Transactions execute WITHOUT RAA: calldata is signature-protected
-	// (paper §III-D), so the interpreter sees it verbatim.
+	receipt := new(types.Receipt)
 	machine := evm.New(st, evm.BlockContext{Number: header.Number, Time: header.Time})
-	res := machine.Call(evm.CallContext{
-		Caller:   tx.From,
-		Contract: tx.To,
-		Input:    tx.Data,
-		Value:    tx.Value,
-		GasPrice: tx.GasPrice,
-		Gas:      tx.GasLimit - intrinsic,
-	})
-	receipt.GasUsed = intrinsic + res.GasUsed
-	receipt.ReturnValue = res.ReturnWord()
-
-	switch {
-	case res.Err != nil:
-		// EVM fault or revert: roll back in place.
-		st.RevertToSnapshot(snap)
-		receipt.Status = types.StatusFailed
-	case hasCode && st.Snapshot() == postTransfer:
-		// No state effect beyond the nonce bump: the contract rejected
-		// the operation (stale mark/price) — the paper's "failed"
-		// transaction, included but rolled back. The rollback also
-		// returns any value the rejected call carried.
-		st.RevertToSnapshot(snap)
-		receipt.Status = types.StatusFailed
-	default:
-		receipt.Status = types.StatusSucceeded
+	if err := c.proc.applyTransaction(machine, st, header, tx, txIndex, receipt); err != nil {
+		return nil, err
 	}
 	return receipt, nil
 }
 
+// Process replays a block body against a parent state copy through the
+// chain's processor, returning the full validated transition — receipts
+// from one arena slab plus the memoized state and receipt roots. Miners
+// build headers from it; InsertBlock verifies against it; the two never
+// re-derive a root the processor already produced.
+func (c *Chain) Process(parentState *statedb.StateDB, header *types.Header, txs []*types.Transaction) (*ExecResult, error) {
+	return c.proc.Process(parentState, header, txs)
+}
+
 // ExecuteBlock replays a block body against a parent state copy and
-// returns the receipts, the post state, and the total gas used. Used by
-// miners to build blocks and by validators to replay them.
+// returns the receipts, the post state, and the total gas used.
+// Compatibility form of Process for consumers that do not need the
+// memoized roots.
 func (c *Chain) ExecuteBlock(parentState *statedb.StateDB, header *types.Header, txs []*types.Transaction) ([]*types.Receipt, *statedb.StateDB, uint64, error) {
-	st := parentState.Copy()
-	receipts := make([]*types.Receipt, 0, len(txs))
-	var gasUsed uint64
-	for i, tx := range txs {
-		if gasUsed+tx.GasLimit > c.cfg.GasLimit {
-			return nil, nil, 0, ErrGasLimitReached
-		}
-		receipt, err := c.ApplyTransaction(st, header, tx, i)
-		if err != nil {
-			return nil, nil, 0, fmt.Errorf("tx %d: %w", i, err)
-		}
-		gasUsed += receipt.GasUsed
-		receipts = append(receipts, receipt)
+	res, err := c.proc.Process(parentState, header, txs)
+	if err != nil {
+		return nil, nil, 0, err
 	}
-	st.DiscardJournal()
-	return receipts, st, gasUsed, nil
+	return res.Receipts, res.Post, res.GasUsed, nil
 }
 
 // InsertBlock validates a block and appends it to the chain. Without an
@@ -302,32 +253,28 @@ func (c *Chain) InsertBlock(block *types.Block) ([]*types.Receipt, error) {
 	if got := block.TxRoot(); got != block.Header.TxRoot {
 		return nil, ErrBadTxRoot
 	}
-	receipts, postState, gasUsed, err := c.ExecuteBlock(c.state, block.Header, block.Txs)
+	// One Process call yields the receipts AND the memoized roots; the
+	// header checks below compare against them instead of re-deriving,
+	// and a cache Put shares the very same ExecResult with every later
+	// importer.
+	res, err := c.proc.Process(c.state, block.Header, block.Txs)
 	if err != nil {
 		return nil, err
 	}
-	if gasUsed != block.Header.GasUsed {
-		return nil, fmt.Errorf("%w: replay %d, header %d", ErrBadGasUsed, gasUsed, block.Header.GasUsed)
+	if res.GasUsed != block.Header.GasUsed {
+		return nil, fmt.Errorf("%w: replay %d, header %d", ErrBadGasUsed, res.GasUsed, block.Header.GasUsed)
 	}
-	receiptRoot := types.DeriveReceiptRoot(receipts)
-	if receiptRoot != block.Header.ReceiptRoot {
+	if res.ReceiptRoot != block.Header.ReceiptRoot {
 		return nil, ErrBadReceiptRoot
 	}
-	stateRoot := postState.Root()
-	if stateRoot != block.Header.StateRoot {
-		return nil, fmt.Errorf("%w: replay %s, header %s", ErrBadStateRoot, stateRoot.Hex(), block.Header.StateRoot.Hex())
+	if res.StateRoot != block.Header.StateRoot {
+		return nil, fmt.Errorf("%w: replay %s, header %s", ErrBadStateRoot, res.StateRoot.Hex(), block.Header.StateRoot.Hex())
 	}
 	if c.cfg.ExecCache != nil {
-		c.cfg.ExecCache.Put(key, &ExecResult{
-			Receipts:    receipts,
-			Post:        postState,
-			GasUsed:     gasUsed,
-			StateRoot:   stateRoot,
-			ReceiptRoot: receiptRoot,
-		})
+		c.cfg.ExecCache.Put(key, res)
 	}
-	c.adopt(block, receipts, postState)
-	return receipts, nil
+	c.adopt(block, res.Receipts, res.Post)
+	return res.Receipts, nil
 }
 
 // adopt appends a validated block. post must be flushed (Root called);

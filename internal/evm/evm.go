@@ -5,10 +5,20 @@
 // words rewritten by the provider before execution (paper Fig. 1,
 // activities E2/R1-R3). State-changing transactions are never augmented —
 // their calldata is covered by the sender's signature.
+//
+// Two interpreters share one semantics: Call dispatches through a
+// precomputed jump table of per-opcode handlers (constant gas, stack
+// bounds and memory-size fns resolved at table-construction time) over
+// pooled frames, while CallGeneric runs the original monolithic switch.
+// The switch form is the bit-identity reference: the differential fuzz
+// in interp_test.go pins the two paths to identical results, gas and
+// state effects over random bytecode.
 package evm
 
 import (
+	"bytes"
 	"errors"
+	"sync"
 
 	"sereth/internal/types"
 	"sereth/internal/uint256"
@@ -75,7 +85,10 @@ func (r Result) ReturnWord() types.Word {
 	return w
 }
 
-// EVM executes message calls against a State.
+// EVM executes message calls against a State. An instance is cheap to
+// construct; per-call scratch (stack, memory, jumpdest analysis) comes
+// from a package-level frame pool, so a block processor reusing one EVM
+// across a body pays no interpreter allocations in steady state.
 type EVM struct {
 	state State
 	block BlockContext
@@ -93,49 +106,154 @@ func New(state State, block BlockContext) *EVM {
 // client types interoperable.
 func (e *EVM) SetRAAProvider(p RAAProvider) { e.raa = p }
 
-// Call runs the code at ctx.Contract with the given input.
+// Call runs the code at ctx.Contract with the given input through the
+// jump-table interpreter.
 func (e *EVM) Call(ctx CallContext) Result {
-	code := e.state.GetCode(ctx.Contract)
-	if len(code) == 0 {
-		// Plain transfer target: nothing to execute.
+	code, input, empty := e.prepare(ctx)
+	if empty {
 		return Result{GasUsed: 0}
 	}
-	input := ctx.Input
-	if ctx.ReadOnly && e.raa != nil {
-		if augmented, ok := e.raa.Augment(ctx.Contract, input); ok {
-			input = augmented
-		}
+	f := framePool.Get().(*frame)
+	// Deferred release: a handler panic must not leak the frame, and a
+	// pooled frame must not pin the last call's state graph while idle.
+	defer putFrame(f)
+	in := &f.in
+	in.reset(e, ctx, input, code)
+	in.dests = f.analyze(code)
+	ret, err := in.run()
+	return e.finish(ctx, in.gasLeft, ret, err)
+}
+
+// putFrame clears the interpreter's references into the caller's world
+// (EVM/state, calldata, code) before pooling, so an idle frame retains
+// only its own scratch buffers and jumpdest memo.
+func putFrame(f *frame) {
+	f.in.evm = nil
+	f.in.ctx = CallContext{}
+	f.in.input = nil
+	f.in.code = nil
+	framePool.Put(f)
+}
+
+// CallGeneric runs the same call through the monolithic-switch reference
+// interpreter. It exists for differential testing (interp_test.go pins
+// the jump table bit-identical to it); production paths use Call.
+func (e *EVM) CallGeneric(ctx CallContext) Result {
+	code, input, empty := e.prepare(ctx)
+	if empty {
+		return Result{GasUsed: 0}
 	}
 	in := &interpreter{
 		evm:      e,
 		ctx:      ctx,
 		input:    input,
 		code:     code,
-		stack:    newStack(),
-		mem:      &memory{},
 		gasLeft:  ctx.Gas,
 		jumpDest: analyzeJumpDests(code),
 	}
-	ret, err := in.run()
-	gasUsed := ctx.Gas - in.gasLeft
+	in.stack.data = make([]uint256.Int, 0, 16)
+	ret, err := in.runGeneric()
+	return e.finish(ctx, in.gasLeft, ret, err)
+}
+
+// prepare resolves the code and (possibly RAA-augmented) input shared by
+// both interpreter paths. empty reports a code-less target (plain
+// transfer: nothing to execute).
+func (e *EVM) prepare(ctx CallContext) (code, input []byte, empty bool) {
+	code = e.state.GetCode(ctx.Contract)
+	if len(code) == 0 {
+		return nil, nil, true
+	}
+	input = ctx.Input
+	if ctx.ReadOnly && e.raa != nil {
+		if augmented, ok := e.raa.Augment(ctx.Contract, input); ok {
+			input = augmented
+		}
+	}
+	return code, input, false
+}
+
+// finish converts an interpreter halt into a Result. Hard faults consume
+// the entire gas allowance.
+func (e *EVM) finish(ctx CallContext, gasLeft uint64, ret []byte, err error) Result {
+	gasUsed := ctx.Gas - gasLeft
 	if err != nil && !errors.Is(err, ErrExecutionRevert) {
-		// Hard faults consume the entire gas allowance.
 		gasUsed = ctx.Gas
 	}
 	return Result{ReturnData: ret, GasUsed: gasUsed, Err: err}
 }
 
+// interpreter is the per-call execution state shared by the jump-table
+// and generic paths. The stack and memory are value fields so a pooled
+// frame embeds the whole struct with its scratch buffers.
 type interpreter struct {
-	evm      *EVM
-	ctx      CallContext
-	input    []byte
-	code     []byte
-	stack    *stack
-	mem      *memory
-	gasLeft  uint64
-	jumpDest map[uint64]bool
-	// pcOverride carries a taken jump target from execute back to run.
+	evm     *EVM
+	ctx     CallContext
+	input   []byte
+	code    []byte
+	stack   stack
+	mem     memory
+	gasLeft uint64
+
+	// Jump-table path: valid JUMPDEST bitmap, "handler set pc itself"
+	// flag, and the loop-precomputed memory range (see operation.memSize).
+	dests  bitvec
+	pcSet  bool
+	memOff uint64
+	memLen uint64
+	memErr error
+
+	// Generic path: map-based jumpdest set and the taken-jump carrier.
+	jumpDest   map[uint64]bool
 	pcOverride *uint64
+}
+
+// reset rebinds a pooled interpreter to a new call, keeping the scratch
+// buffer capacity of previous calls.
+func (in *interpreter) reset(e *EVM, ctx CallContext, input, code []byte) {
+	in.evm = e
+	in.ctx = ctx
+	in.input = input
+	in.code = code
+	in.stack.data = in.stack.data[:0]
+	in.mem.data = in.mem.data[:0]
+	in.gasLeft = ctx.Gas
+	in.dests = nil
+	in.pcSet = false
+	in.memOff, in.memLen, in.memErr = 0, 0, nil
+	in.jumpDest = nil
+	in.pcOverride = nil
+}
+
+// frame is one pooled interpreter plus its jumpdest-analysis memo: a
+// frame that is reused against the same code (the common case — a block
+// body calling one contract) skips re-analysis entirely.
+type frame struct {
+	in    interpreter
+	dests bitvec
+	// code is a private copy of the last-analyzed bytecode. The memo
+	// hit is a content compare, NOT pointer identity: a freed slice can
+	// be reallocated at the same address with different bytes, so an
+	// address-keyed memo could serve a stale analysis. bytes.Equal is a
+	// memcmp — far cheaper than re-analysis.
+	code []byte
+}
+
+var framePool = sync.Pool{New: func() any {
+	f := &frame{}
+	f.in.stack.data = make([]uint256.Int, 0, 16)
+	return f
+}}
+
+// analyze returns the valid-JUMPDEST bitmap for code, reusing the
+// frame's previous analysis when the bytecode is unchanged.
+func (f *frame) analyze(code []byte) bitvec {
+	if bytes.Equal(f.code, code) {
+		return f.dests
+	}
+	f.dests = analyzeJumpDestsBitvec(code, f.dests)
+	f.code = append(f.code[:0], code...)
+	return f.dests
 }
 
 func analyzeJumpDests(code []byte) map[uint64]bool {
@@ -184,7 +302,9 @@ func asOffset(v uint256.Int) (uint64, error) {
 	return n, nil
 }
 
-func (in *interpreter) run() ([]byte, error) {
+// runGeneric is the reference interpreter: the original monolithic
+// switch, kept bit-identical to the jump table by the differential fuzz.
+func (in *interpreter) runGeneric() ([]byte, error) {
 	var pc uint64
 	for {
 		if pc >= uint64(len(in.code)) {
@@ -262,10 +382,10 @@ func (in *interpreter) run() ([]byte, error) {
 	}
 }
 
-// execute handles every non-push/dup/swap opcode. It returns done=true on
-// RETURN/STOP-like halts.
+// execute handles every non-push/dup/swap opcode for the generic
+// reference interpreter. It returns done=true on RETURN/STOP-like halts.
 func (in *interpreter) execute(op OpCode, pc uint64) (done bool, ret []byte, err error) {
-	s := in.stack
+	s := &in.stack
 	switch op {
 	case ADD:
 		a, b, err := s.pop2()

@@ -1,0 +1,241 @@
+package evm
+
+// Differential tests pinning the jump-table interpreter bit-identical
+// to the generic-switch reference: same return data, same gas, same
+// error, same state effects — over every opcode byte, random structured
+// programs and raw fuzzed bytecode.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sereth/internal/types"
+)
+
+// diffState is a minimal journaling-free State for differential runs:
+// two instances seeded identically must end identically iff the two
+// interpreters performed the same writes.
+type diffState struct {
+	code    []byte
+	storage map[types.Word]types.Word
+	balance map[types.Address]uint64
+}
+
+func newDiffState(code []byte) *diffState {
+	return &diffState{
+		code:    code,
+		storage: map[types.Word]types.Word{},
+		balance: map[types.Address]uint64{types.Address{19: 0x01}: 12345},
+	}
+}
+
+func (s *diffState) GetState(_ types.Address, key types.Word) types.Word { return s.storage[key] }
+func (s *diffState) SetState(_ types.Address, key, value types.Word)     { s.storage[key] = value }
+func (s *diffState) GetCode(types.Address) []byte                        { return s.code }
+func (s *diffState) GetBalance(addr types.Address) uint64                { return s.balance[addr] }
+
+func (s *diffState) equal(o *diffState) bool {
+	if len(s.storage) != len(o.storage) {
+		return false
+	}
+	for k, v := range s.storage {
+		if o.storage[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// diffRun executes code through both interpreters on fresh identical
+// states and reports any divergence.
+func diffRun(code, input []byte, gas uint64, readOnly bool) error {
+	ctx := CallContext{
+		Caller:   types.Address{19: 0xaa},
+		Contract: types.Address{19: 0xcc},
+		Input:    input,
+		Value:    7,
+		GasPrice: 11,
+		Gas:      gas,
+		ReadOnly: readOnly,
+	}
+	stJT := newDiffState(code)
+	stGen := newDiffState(code)
+	block := BlockContext{Number: 42, Time: 1234}
+	resJT := New(stJT, block).Call(ctx)
+	resGen := New(stGen, block).CallGeneric(ctx)
+
+	if resJT.Err != resGen.Err {
+		return fmt.Errorf("err: jump table %v, generic %v", resJT.Err, resGen.Err)
+	}
+	if resJT.GasUsed != resGen.GasUsed {
+		return fmt.Errorf("gas used: jump table %d, generic %d", resJT.GasUsed, resGen.GasUsed)
+	}
+	if !bytes.Equal(resJT.ReturnData, resGen.ReturnData) {
+		return fmt.Errorf("return data: jump table %x, generic %x", resJT.ReturnData, resGen.ReturnData)
+	}
+	if !stJT.equal(stGen) {
+		return fmt.Errorf("storage diverged: jump table %v, generic %v", stJT.storage, stGen.storage)
+	}
+	return nil
+}
+
+// preload pushes n small operands so single-opcode programs have
+// operands to consume.
+func preload(n int, tail ...byte) []byte {
+	var code []byte
+	for i := 0; i < n; i++ {
+		code = append(code, byte(PUSH1), byte(i+1))
+	}
+	return append(code, tail...)
+}
+
+// TestJumpTableMatchesGenericAllOpcodes drives every opcode byte —
+// defined or not — with zero, partial and full operand stacks, at a
+// comfortable and a starving gas budget.
+func TestJumpTableMatchesGenericAllOpcodes(t *testing.T) {
+	for op := 0; op < 256; op++ {
+		for _, operands := range []int{0, 1, 2, 3, 17} {
+			code := preload(operands, byte(op), byte(STOP))
+			for _, gas := range []uint64{0, 5, 60, 100000} {
+				if err := diffRun(code, []byte{1, 2, 3, 4}, gas, false); err != nil {
+					t.Errorf("op 0x%02x operands=%d gas=%d: %v", op, operands, gas, err)
+				}
+			}
+			if err := diffRun(code, nil, 100000, true); err != nil {
+				t.Errorf("op 0x%02x operands=%d read-only: %v", op, operands, err)
+			}
+		}
+	}
+}
+
+// TestMemoryExpandOverflow pins the expand() arithmetic fix: a memory
+// range ending within 31 bytes of 2^64 used to wrap the word rounding
+// to zero, charge no gas, and panic every replaying peer inside the
+// allocator with a 2^64-scale size. It must fault with out-of-gas in
+// BOTH interpreters instead.
+func TestMemoryExpandOverflow(t *testing.T) {
+	progs := [][]byte{
+		// PUSH8 2^64-1; PUSH1 0; SHA3
+		{byte(PUSH1) + 7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, byte(PUSH1), 0, byte(SHA3)},
+		// PUSH8 2^64-1; PUSH1 0; RETURN
+		{byte(PUSH1) + 7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, byte(PUSH1), 0, byte(RETURN)},
+		// PUSH8 2^64-33; MLOAD — end = 2^64-1: huge but NOT wrapping, the
+		// case the old `end < offset` guard missed.
+		{byte(PUSH1) + 7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xdf, byte(MLOAD)},
+		// PUSH8 len; PUSH1 0; PUSH1 0; CALLDATACOPY
+		{byte(PUSH1) + 7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, byte(PUSH1), 0, byte(PUSH1), 0, byte(CALLDATACOPY)},
+	}
+	for i, code := range progs {
+		for _, call := range []func(*EVM, CallContext) Result{(*EVM).Call, (*EVM).CallGeneric} {
+			res := call(New(newDiffState(code), BlockContext{}), CallContext{Contract: types.Address{19: 0xcc}, Gas: 10_000_000})
+			if res.Err != ErrOutOfGas {
+				t.Errorf("program %d: err = %v, want out of gas", i, res.Err)
+			}
+		}
+		if err := diffRun(code, nil, 10_000_000, false); err != nil {
+			t.Errorf("program %d: %v", i, err)
+		}
+	}
+}
+
+// TestJumpTableStackOverflowMatches pins the overflow error path: fill
+// the stack to the limit, then push/dup once more.
+func TestJumpTableStackOverflowMatches(t *testing.T) {
+	var fill []byte
+	for i := 0; i < StackLimit; i++ {
+		fill = append(fill, byte(PUSH1), 1)
+	}
+	for _, tail := range [][]byte{{byte(PUSH1), 1}, {byte(DUP1)}, {byte(SWAP1)}, {byte(ADD)}} {
+		code := append(append([]byte{}, fill...), tail...)
+		if err := diffRun(code, nil, 10_000_000, false); err != nil {
+			t.Errorf("tail %x: %v", tail, err)
+		}
+	}
+}
+
+// interestingOps weights program generation toward defined opcodes so
+// random programs exercise real execution paths instead of dying on the
+// first undefined byte.
+var interestingOps = []byte{
+	byte(STOP), byte(ADD), byte(MUL), byte(SUB), byte(DIV), byte(MOD),
+	byte(EXP), byte(LT), byte(GT), byte(EQ), byte(ISZERO), byte(AND),
+	byte(OR), byte(XOR), byte(NOT), byte(BYTE), byte(SHL), byte(SHR),
+	byte(SHA3), byte(ADDRESS), byte(BALANCE), byte(CALLER),
+	byte(CALLVALUE), byte(CALLDATALOAD), byte(CALLDATASIZE),
+	byte(CALLDATACOPY), byte(CODESIZE), byte(GASPRICE), byte(TIMESTAMP),
+	byte(NUMBER), byte(POP), byte(MLOAD), byte(MSTORE), byte(MSTORE8),
+	byte(SLOAD), byte(SSTORE), byte(JUMP), byte(JUMPI), byte(PC),
+	byte(MSIZE), byte(GAS), byte(JUMPDEST), byte(PUSH1), byte(PUSH1),
+	byte(PUSH1) + 1, byte(PUSH1) + 3, byte(PUSH32), byte(DUP1),
+	byte(DUP1) + 1, byte(DUP16), byte(SWAP1), byte(SWAP1) + 1,
+	byte(SWAP16), byte(RETURN), byte(REVERT), byte(INVALID),
+}
+
+func randomProgram(rng *rand.Rand) []byte {
+	n := 1 + rng.Intn(64)
+	code := make([]byte, 0, n*2)
+	for i := 0; i < n; i++ {
+		if rng.Intn(8) == 0 {
+			code = append(code, byte(rng.Intn(256))) // raw byte, maybe undefined
+			continue
+		}
+		op := interestingOps[rng.Intn(len(interestingOps))]
+		code = append(code, op)
+		if o := OpCode(op); o.IsPush() {
+			for j := 0; j < o.PushSize(); j++ {
+				// Small immediates keep jumps/offsets mostly in range so a
+				// useful fraction of programs runs deep.
+				code = append(code, byte(rng.Intn(96)))
+			}
+		}
+	}
+	return code
+}
+
+// TestJumpTableMatchesGenericRandom runs a few thousand deterministic
+// random programs through both interpreters.
+func TestJumpTableMatchesGenericRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	iterations := 4000
+	if testing.Short() {
+		iterations = 400
+	}
+	for i := 0; i < iterations; i++ {
+		code := randomProgram(rng)
+		input := make([]byte, rng.Intn(100))
+		rng.Read(input)
+		gas := uint64(rng.Intn(200_000))
+		if err := diffRun(code, input, gas, rng.Intn(4) == 0); err != nil {
+			t.Fatalf("iteration %d code=%x gas=%d: %v", i, code, gas, err)
+		}
+	}
+}
+
+// FuzzInterpreter feeds raw bytecode/input/gas to both interpreters and
+// requires bit-identical outcomes. The seed corpus covers the Sereth
+// contract-shaped paths; `go test` replays the corpus, `go test -fuzz`
+// explores.
+func FuzzInterpreter(f *testing.F) {
+	f.Add([]byte{byte(PUSH1), 0x20, byte(PUSH1), 0x00, byte(RETURN)}, []byte{}, uint64(1000))
+	f.Add([]byte{byte(PUSH1), 0x05, byte(JUMP), byte(STOP), byte(STOP), byte(JUMPDEST), byte(STOP)}, []byte{}, uint64(1000))
+	f.Add([]byte{byte(PUSH1), 0x01, byte(PUSH1), 0x00, byte(SSTORE)}, []byte{}, uint64(30000))
+	f.Add([]byte{byte(CALLDATALOAD), byte(SHA3)}, []byte{1, 2, 3}, uint64(500))
+	f.Add(preload(3, byte(CALLDATACOPY), byte(MSIZE)), []byte{9, 8, 7, 6}, uint64(400))
+	f.Add([]byte{byte(PUSH32)}, []byte{}, uint64(100))
+	// Memory ranges at the 2^64 wrap boundary (the expand() overflow).
+	f.Add([]byte{byte(PUSH1) + 7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, byte(PUSH1), 0, byte(SHA3)}, []byte{}, uint64(100_000))
+	f.Add([]byte{byte(PUSH1) + 7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xef, byte(PUSH1), 16, byte(RETURN)}, []byte{}, uint64(100_000))
+	f.Fuzz(func(t *testing.T, code, input []byte, gas uint64) {
+		if len(code) > 4096 || len(input) > 4096 {
+			return
+		}
+		if err := diffRun(code, input, gas%10_000_000, false); err != nil {
+			t.Fatalf("code=%x input=%x gas=%d: %v", code, input, gas, err)
+		}
+		if err := diffRun(code, input, gas%10_000_000, true); err != nil {
+			t.Fatalf("read-only code=%x input=%x gas=%d: %v", code, input, gas, err)
+		}
+	})
+}

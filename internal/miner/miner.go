@@ -263,17 +263,19 @@ func (m *Miner) BuildBlock(timestamp uint64) (*types.Block, error) {
 		GasLimit:   limit,
 		Time:       timestamp,
 	}
-	receipts, post, gasUsed, err := m.chain.ExecuteBlock(state, header, body)
+	res, err := m.chain.Process(state, header, body)
 	if err != nil {
 		return nil, fmt.Errorf("build block %d: %w", header.Number, err)
 	}
-	// Deriving the root through the block memoizes it on the instance
-	// every peer will import, so no importer ever re-derives it.
+	// Deriving the tx root through the block memoizes it on the instance
+	// every peer will import, so no importer ever re-derives it; the
+	// state and receipt roots come memoized from the processor's single
+	// derivation.
 	block := &types.Block{Header: header, Txs: body}
 	header.TxRoot = block.TxRoot()
-	header.ReceiptRoot = types.DeriveReceiptRoot(receipts)
-	header.StateRoot = post.Root()
-	header.GasUsed = gasUsed
+	header.ReceiptRoot = res.ReceiptRoot
+	header.StateRoot = res.StateRoot
+	header.GasUsed = res.GasUsed
 	if !chain.Seal(header, m.chain.Config().Difficulty, m.maxSealIter) {
 		return nil, fmt.Errorf("build block %d: seal search exhausted", header.Number)
 	}

@@ -477,21 +477,34 @@ func (n *Node) MineAndBroadcast(timestamp uint64) (*types.Block, error) {
 
 // CallReadOnly executes a view/pure call against the head state. On a
 // Sereth node the RAA hook augments registered calls; on a Geth node
-// arguments pass through unchanged.
+// arguments pass through unchanged. The call runs against the live head
+// state under the chain's read lock instead of a private copy: a
+// read-only call cannot mutate (SSTORE faults with ErrWriteProtection
+// before touching state, and the instruction set has no other
+// state-writing opcode), so the per-call full-state Copy the old path
+// paid — the dominant cost of ViewAMV's per-buy EVM cross-check — was
+// pure waste. The header and state come from one ReadHeadState
+// acquisition, so NUMBER/TIMESTAMP always describe the block whose
+// state the call reads. The lock hold is bounded by the read-only gas
+// allowance — the same order as the write-lock hold of an InsertBlock
+// replay, so a slow view call delays imports no worse than a block
+// import delays another.
 func (n *Node) CallReadOnly(from, to types.Address, data []byte) evm.Result {
-	head := n.chain.Head().Header
-	st := n.chain.State()
-	machine := evm.New(st, evm.BlockContext{Number: head.Number, Time: head.Time})
-	if n.raaSvc != nil {
-		machine.SetRAAProvider(n.raaSvc)
-	}
-	return machine.Call(evm.CallContext{
-		Caller:   from,
-		Contract: to,
-		Input:    data,
-		Gas:      5_000_000,
-		ReadOnly: true,
+	var res evm.Result
+	n.chain.ReadHeadState(func(head *types.Block, st *statedb.StateDB) {
+		machine := evm.New(st, evm.BlockContext{Number: head.Header.Number, Time: head.Header.Time})
+		if n.raaSvc != nil {
+			machine.SetRAAProvider(n.raaSvc)
+		}
+		res = machine.Call(evm.CallContext{
+			Caller:   from,
+			Contract: to,
+			Input:    data,
+			Gas:      5_000_000,
+			ReadOnly: true,
+		})
 	})
+	return res
 }
 
 // StorageAt reads a committed storage word (the READ-COMMITTED view any

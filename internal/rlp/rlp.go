@@ -127,6 +127,38 @@ func Encode(it Item) []byte {
 	return appendItem(out, it)
 }
 
+// AppendString appends the canonical string encoding of s to out —
+// byte-identical to Encode(String(s)) without building an Item.
+func AppendString(out, s []byte) []byte { return appendString(out, s) }
+
+// AppendUint appends the canonical integer encoding of v to out —
+// byte-identical to Encode(Uint(v)).
+func AppendUint(out []byte, v uint64) []byte {
+	if v == 0 {
+		return append(out, 0x80)
+	}
+	var buf [8]byte
+	n := 0
+	for shift := 56; shift >= 0; shift -= 8 {
+		b := byte(v >> uint(shift))
+		if n == 0 && b == 0 {
+			continue
+		}
+		buf[n] = b
+		n++
+	}
+	return appendString(out, buf[:n])
+}
+
+// AppendList appends a list header followed by payload, which must be
+// the concatenated encodings of the list's children — byte-identical to
+// Encode(List(children...)). The flat form lets hot encoders (receipts,
+// root derivations) build lists in reused buffers instead of Item trees.
+func AppendList(out, payload []byte) []byte {
+	out = appendLength(out, len(payload), 0xc0)
+	return append(out, payload...)
+}
+
 func appendItem(out []byte, it Item) []byte {
 	switch it.kind {
 	case KindString:

@@ -241,3 +241,32 @@ func BenchmarkDecodeTxShaped(b *testing.B) {
 		}
 	}
 }
+
+// TestAppendHelpersMatchEncode pins the flat append path byte-identical
+// to the Item-tree encoder it bypasses.
+func TestAppendHelpersMatchEncode(t *testing.T) {
+	strs := [][]byte{nil, {}, {0x00}, {0x7f}, {0x80}, {1, 2, 3}, make([]byte, 55), make([]byte, 56), make([]byte, 300)}
+	for _, s := range strs {
+		if got, want := AppendString(nil, s), Encode(String(s)); !bytes.Equal(got, want) {
+			t.Errorf("AppendString(%d bytes) = %x, Encode = %x", len(s), got, want)
+		}
+	}
+	for _, v := range []uint64{0, 1, 0x7f, 0x80, 0xff, 0x100, 1 << 20, 1<<64 - 1} {
+		if got, want := AppendUint(nil, v), Encode(Uint(v)); !bytes.Equal(got, want) {
+			t.Errorf("AppendUint(%d) = %x, Encode = %x", v, got, want)
+		}
+	}
+	// Lists: children payload concatenation + header, short and long.
+	for _, n := range []int{0, 1, 3, 20, 100} {
+		var payload []byte
+		items := make([]Item, n)
+		for i := 0; i < n; i++ {
+			b := []byte{byte(i), byte(i + 1)}
+			payload = AppendString(payload, b)
+			items[i] = String(b)
+		}
+		if got, want := AppendList(nil, payload), Encode(List(items...)); !bytes.Equal(got, want) {
+			t.Errorf("AppendList(%d children) = %x, Encode = %x", n, got, want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package scenarios
 import (
 	"testing"
 
+	"sereth/internal/evm"
+	"sereth/internal/statedb"
 	"sereth/internal/txpool"
 	"sereth/internal/types"
 )
@@ -24,6 +26,75 @@ func AdmissionTxs(n int) []*types.Transaction {
 		}
 	}
 	return txs
+}
+
+// InterpProgram returns a bytecode loop that executes exactly 100
+// instructions before halting (one counter push, fourteen 7-op loop
+// bodies, one STOP) — the fixture of the evm/interp-100op dispatch
+// benchmark. The body mixes pushes, stack shuffles, arithmetic and a
+// conditional jump, so the row tracks dispatch overhead rather than any
+// single handler.
+func InterpProgram() []byte {
+	return []byte{
+		0x60, 14, // PUSH1 14        counter
+		0x5b,    // JUMPDEST  (pc=2)
+		0x60, 1, // PUSH1 1
+		0x90,    // SWAP1
+		0x03,    // SUB            counter-1
+		0x80,    // DUP1
+		0x60, 2, // PUSH1 2
+		0x57, // JUMPI          loop while counter != 0
+		0x00, // STOP
+	}
+}
+
+// BenchInterp100Op is the shared body of the interpreter-dispatch
+// benchmark (root BenchmarkInterp100Op and the serethbench
+// evm/interp-100op row): one Call executing the 100-instruction
+// InterpProgram through the jump table over pooled frames. ns/op is per
+// program run, ~10 ns/op per executed instruction at parity.
+func BenchInterp100Op(b *testing.B) {
+	st := statedb.New()
+	st.SetCode(BenchContract, InterpProgram())
+	machine := evm.New(st, evm.BlockContext{Number: 1, Time: 15})
+	ctx := evm.CallContext{
+		Caller:   types.Address{19: 0x01},
+		Contract: BenchContract,
+		Gas:      100_000,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := machine.Call(ctx); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchJournalChurn is the shared body of the typed-flat-journal
+// benchmark (root BenchmarkJournalChurn and the serethbench
+// statedb/journal-churn row): one snapshot, eight mutations across the
+// journal's entry kinds, one revert — the per-transaction journaling
+// rhythm of the execution pipeline. ns/op is per churn cycle.
+func BenchJournalChurn(b *testing.B) {
+	st, addrs := StateFixture(16)
+	st.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := uint64(i)
+		a := addrs[i%len(addrs)]
+		snap := st.Snapshot()
+		st.SetNonce(a, n)
+		st.AddBalance(a, 7)
+		if !st.SubBalance(a, 3) {
+			b.Fatal("underfunded fixture account")
+		}
+		for k := 0; k < 5; k++ {
+			st.SetState(BenchContract, types.WordFromUint64(uint64(k)), types.WordFromUint64(n+uint64(k)))
+		}
+		st.RevertToSnapshot(snap)
+	}
 }
 
 // BenchTxAdmission is the shared body of the per-transaction pool

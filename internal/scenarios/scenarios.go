@@ -210,13 +210,16 @@ func NewReplayFixture(n int) *ReplayFixture {
 	flag := types.FlagHead
 	for i := range txs {
 		v := types.WordFromUint64(uint64(i + 10))
+		// Memoized like the real import path: a mined block's body holds
+		// the pool's frozen instances, so importers verify cached
+		// identity/signature digests instead of re-deriving them.
 		txs[i] = owner.SignTx(&types.Transaction{
 			Nonce:    uint64(i),
 			To:       BenchContract,
 			GasPrice: 10,
 			GasLimit: 300_000,
 			Data:     types.EncodeCall(selSet, flag, prev, v),
-		})
+		}).Memoize()
 		prev = types.NextMark(prev, v)
 		flag = types.FlagChain
 	}
@@ -227,17 +230,18 @@ func NewReplayFixture(n int) *ReplayFixture {
 		GasLimit:   gasLimit,
 		Time:       15,
 	}
-	receipts, post, gasUsed, err := c.ExecuteBlock(c.State(), header, txs)
+	res, err := c.Process(c.State(), header, txs)
 	if err != nil {
 		panic(fmt.Sprintf("scenarios: replay fixture: %v", err))
 	}
-	// Like the miner, derive the root through the shared block so every
-	// importing consumer reuses the memoized value.
+	// Like the miner, derive the tx root through the shared block so
+	// every importing consumer reuses the memoized value; the state and
+	// receipt roots come memoized from the processor.
 	block := &types.Block{Header: header, Txs: txs}
 	header.TxRoot = block.TxRoot()
-	header.ReceiptRoot = types.DeriveReceiptRoot(receipts)
-	header.StateRoot = post.Root()
-	header.GasUsed = gasUsed
+	header.ReceiptRoot = res.ReceiptRoot
+	header.StateRoot = res.StateRoot
+	header.GasUsed = res.GasUsed
 	return &ReplayFixture{
 		Registry: reg,
 		Genesis:  genesis,

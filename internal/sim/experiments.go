@@ -360,6 +360,47 @@ func RunOverload(intervalsMs []uint64, seeds []int64, shape ...Shape) ([]Overloa
 	return out, nil
 }
 
+// BurstPoint is one cell of the burst-submission sweep.
+type BurstPoint struct {
+	BurstSize int
+	Eta       metrics.Summary
+	// Msgs is the network delivery count per run: the direct readout of
+	// what batched envelopes save over per-tx gossip.
+	Msgs metrics.Summary
+}
+
+// RunBurst sweeps the submission burst size for the batched-gossip
+// scenario family. Size 1 is the per-tx baseline (identical schedule to
+// sereth_client); larger bursts trade view freshness within a burst
+// window for one shared admission batch and gossip envelope per client
+// per burst.
+func RunBurst(burstSizes []int, seeds []int64, shape ...Shape) ([]BurstPoint, error) {
+	sh := shapeOf(shape)
+	var out []BurstPoint
+	for _, size := range burstSizes {
+		size := size
+		results, err := runSeeds(seeds, func(seed int64) ScenarioConfig {
+			cfg := Burst(seed)
+			cfg.Name = fmt.Sprintf("burst_%d", size)
+			cfg.BurstSize = size
+			return sh.Apply(cfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var msgs []float64
+		for _, res := range results {
+			msgs = append(msgs, float64(res.MsgsSent))
+		}
+		out = append(out, BurstPoint{
+			BurstSize: size,
+			Eta:       summarizeEtas(results),
+			Msgs:      metrics.Summarize(msgs),
+		})
+	}
+	return out, nil
+}
+
 func summarizeEtas(results []Result) metrics.Summary {
 	etas := make([]float64, 0, len(results))
 	for _, res := range results {

@@ -35,6 +35,14 @@ type ScenarioConfig struct {
 	Sets             int    // set transactions spread over the buys
 	SubmitIntervalMs uint64 // per-buy submission interval (paper: 1000)
 	Buyers           int    // distinct buyer accounts, round-robin
+	// BurstSize > 1 batches buy submissions: each group of BurstSize
+	// consecutive buys is built against the submitting client's view at
+	// the group's start instant and shipped through node.SubmitTxs — one
+	// pool-admission batch and ONE batched gossip envelope
+	// (p2p.BroadcastTxs) per client per burst, instead of per-tx
+	// admission and gossip. The burst family assumes unbounded pools: a
+	// refused submission aborts the run.
+	BurstSize int
 
 	// Chain and network shape.
 	BlockIntervalMs uint64 // mean block interval (paper regime: 15000)
@@ -163,6 +171,21 @@ func Overload(seed int64) ScenarioConfig {
 	return cfg
 }
 
+// Burst configures the burst-submission family: buys arrive in groups
+// of BurstSize shipped through the batched admission + gossip pipeline
+// (txpool.AdmitBatch, p2p.BroadcastTxs) instead of one envelope per
+// transaction. At BurstSize 1 it degenerates to the sereth_client
+// per-tx schedule, which anchors the sweep's baseline row.
+func Burst(seed int64) ScenarioConfig {
+	cfg := Defaults()
+	cfg.Name = "burst"
+	cfg.Seed = seed
+	cfg.Sets = 20
+	cfg.ClientMode = node.ModeSereth
+	cfg.BurstSize = 10
+	return cfg
+}
+
 // Result aggregates one scenario run.
 type Result struct {
 	Config ScenarioConfig
@@ -234,6 +257,7 @@ type eventKind int
 const (
 	evSet eventKind = iota + 1
 	evBuy
+	evBurst // a batch of BurstSize consecutive buys starting at idx
 	evBlock
 )
 
@@ -394,8 +418,16 @@ func (s *scenario) schedule() []event {
 	span := uint64(s.cfg.Buys) * s.cfg.SubmitIntervalMs
 
 	events = append(events, event{at: 0, kind: evSet, idx: -1}) // opening price
-	for i := 0; i < s.cfg.Buys; i++ {
-		events = append(events, event{at: buyStart + uint64(i)*s.cfg.SubmitIntervalMs, kind: evBuy, idx: i})
+	if s.cfg.BurstSize > 1 {
+		// Burst submission: one event per group of BurstSize buys, at
+		// the instant the group's first buy would have gone out.
+		for i := 0; i < s.cfg.Buys; i += s.cfg.BurstSize {
+			events = append(events, event{at: buyStart + uint64(i)*s.cfg.SubmitIntervalMs, kind: evBurst, idx: i})
+		}
+	} else {
+		for i := 0; i < s.cfg.Buys; i++ {
+			events = append(events, event{at: buyStart + uint64(i)*s.cfg.SubmitIntervalMs, kind: evBuy, idx: i})
+		}
 	}
 	for k := 0; k < s.cfg.Sets; k++ {
 		at := buyStart + uint64(float64(k)*float64(span)/float64(s.cfg.Sets))
@@ -553,6 +585,8 @@ func (s *scenario) dispatch(ev event) error {
 		return s.submitSet()
 	case evBuy:
 		return s.submitBuy(ev.idx)
+	case evBurst:
+		return s.submitBurst(ev.idx)
 	default:
 		return fmt.Errorf("sim: unknown event kind %d", ev.kind)
 	}
@@ -592,14 +626,18 @@ func (s *scenario) submitSet() error {
 	return nil
 }
 
-// submitBuy issues a buy from the next buyer using their client node's
-// best view: committed storage on a Geth client, the RAA/HMS
-// READ-UNCOMMITTED view on a Sereth client. Buyers round-robin over the
-// client peers.
-func (s *scenario) submitBuy(i int) error {
-	buyerIdx := i % len(s.buyers)
+// buildBuy constructs buy i's signed transaction from its client's best
+// view: committed storage on a Geth client, the RAA/HMS READ-UNCOMMITTED
+// view on a Sereth client (buyers round-robin over the client peers; the
+// sequential-history check uses the single sender's locally-tracked
+// chain instead of a remote view). The sender's nonce is read but NOT
+// consumed — callers commit it via commitBuy once the transaction is
+// accepted, so a refused buy never gaps the sender's sequence.
+func (s *scenario) buildBuy(i int) (clientIdx, buyerIdx int, tx *types.Transaction) {
+	buyerIdx = i % len(s.buyers)
 	key := s.buyers[buyerIdx]
-	client := s.clients[buyerIdx%len(s.clients)]
+	clientIdx = buyerIdx % len(s.clients)
+	client := s.clients[clientIdx]
 
 	var flag, mark, value types.Word
 	var nonce uint64
@@ -617,8 +655,31 @@ func (s *scenario) submitBuy(i int) error {
 	if s.cfg.GasPriceSpread > 0 {
 		gasPrice += uint64(s.rng.Intn(s.cfg.GasPriceSpread))
 	}
-	tx, err := client.SubmitBuyPriced(key, nonce, s.contract, gasPrice, flag, mark, value)
-	if err != nil {
+	return clientIdx, buyerIdx, key.SignTx(&types.Transaction{
+		Nonce:    nonce,
+		To:       s.contract,
+		GasPrice: gasPrice,
+		GasLimit: 300_000,
+		Data:     types.EncodeCall(asm.SelBuy, flag, mark, value),
+	})
+}
+
+// commitBuy records an accepted buy: the sender's nonce is consumed and
+// the transaction counted into the run's buy set.
+func (s *scenario) commitBuy(buyerIdx int, tx *types.Transaction) {
+	if s.cfg.SingleSender {
+		s.ownerNonce++
+	} else {
+		s.buyerNonce[buyerIdx]++
+	}
+	s.buysSent++
+	s.buyHashes[tx.Hash()] = true
+}
+
+// submitBuy issues one buy through its client.
+func (s *scenario) submitBuy(i int) error {
+	clientIdx, buyerIdx, tx := s.buildBuy(i)
+	if err := s.clients[clientIdx].SubmitTx(tx); err != nil {
 		// A refused buy never existed anywhere, so its nonce must NOT be
 		// consumed — a burned nonce would gap the sender's sequence and
 		// make every later buy from this buyer unminable.
@@ -628,13 +689,41 @@ func (s *scenario) submitBuy(i int) error {
 		}
 		return fmt.Errorf("submit buy %d: %w", i, err)
 	}
-	if s.cfg.SingleSender {
-		s.ownerNonce++
-	} else {
-		s.buyerNonce[buyerIdx]++
+	s.commitBuy(buyerIdx, tx)
+	return nil
+}
+
+// submitBurst issues the buys [start, start+BurstSize) as batched
+// submissions: every buy is built against its client's view at the
+// burst instant (buys carry no sets, so the views a per-tx loop would
+// have read are identical), then each client's group ships through
+// SubmitTxs — one pool-admission batch and one batched gossip envelope
+// per client. Nonce and gas-price draws follow the per-tx path's order
+// exactly.
+func (s *scenario) submitBurst(start int) error {
+	end := start + s.cfg.BurstSize
+	if end > s.cfg.Buys {
+		end = s.cfg.Buys
 	}
-	s.buysSent++
-	s.buyHashes[tx.Hash()] = true
+	groups := make([][]*types.Transaction, len(s.clients))
+	for i := start; i < end; i++ {
+		clientIdx, buyerIdx, tx := s.buildBuy(i)
+		groups[clientIdx] = append(groups[clientIdx], tx)
+		// The burst family runs on unbounded pools, so acceptance is
+		// certain at build time and the nonce commits eagerly; a refusal
+		// below aborts the run rather than un-counting.
+		s.commitBuy(buyerIdx, tx)
+	}
+	for ci, txs := range groups {
+		if len(txs) == 0 {
+			continue
+		}
+		if err := s.clients[ci].SubmitTxs(txs); err != nil {
+			// The burst family runs on unbounded pools; any refusal is a
+			// configuration error, not backpressure to absorb.
+			return fmt.Errorf("submit burst at %d: %w", start, err)
+		}
+	}
 	return nil
 }
 

@@ -525,3 +525,73 @@ func TestHighLatencyRingConverges(t *testing.T) {
 		t.Error("no blocks committed")
 	}
 }
+
+// TestBurstSizeOneMatchesPerTx pins the burst family's baseline: at
+// BurstSize 1 the schedule degenerates to the per-tx sereth_client
+// path, so a run must be bit-identical to the unbatched scenario at the
+// same seed.
+func TestBurstSizeOneMatchesPerTx(t *testing.T) {
+	base := fast(SerethClient(10, 101))
+	burst := base
+	burst.BurstSize = 1
+	r1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Efficiency() != r2.Efficiency() || r1.BuysIncluded != r2.BuysIncluded ||
+		r1.Blocks != r2.Blocks || r1.MsgsSent != r2.MsgsSent {
+		t.Errorf("burst=1 diverged from per-tx: η %v vs %v, msgs %d vs %d",
+			r1.Efficiency(), r2.Efficiency(), r1.MsgsSent, r2.MsgsSent)
+	}
+}
+
+// TestBurstBatchesGossip pins the point of the family: batching buys
+// into shared envelopes must cut delivered messages versus per-tx
+// gossip while every buy still reaches the chain.
+func TestBurstBatchesGossip(t *testing.T) {
+	perTx := fast(Burst(101))
+	perTx.BurstSize = 1
+	batched := fast(Burst(101))
+	batched.BurstSize = 10
+	r1, err := Run(perTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MsgsSent >= r1.MsgsSent {
+		t.Errorf("batched gossip sent %d msgs, per-tx %d", r2.MsgsSent, r1.MsgsSent)
+	}
+	if r2.BuysSubmitted != perTx.Buys {
+		t.Errorf("submitted %d of %d buys", r2.BuysSubmitted, perTx.Buys)
+	}
+	if r2.BuysIncluded == 0 {
+		t.Error("no buys included under burst submission")
+	}
+}
+
+// TestBurstMultiClient routes a burst across several client peers: each
+// client ships its own sub-batch, and the run must stay consistent.
+func TestBurstMultiClient(t *testing.T) {
+	cfg := fast(Burst(101))
+	cfg.BurstSize = 10
+	cfg.SemanticMiners = 2
+	cfg.BaselineMiners = 2
+	cfg.Clients = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BuysSubmitted != cfg.Buys {
+		t.Errorf("submitted %d of %d buys", res.BuysSubmitted, cfg.Buys)
+	}
+	if res.BuysIncluded == 0 || res.Blocks == 0 {
+		t.Errorf("burst run stalled: included=%d blocks=%d", res.BuysIncluded, res.Blocks)
+	}
+}

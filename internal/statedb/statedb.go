@@ -58,8 +58,73 @@ type account struct {
 	codeHash *types.Hash
 }
 
-// journalEntry undoes one mutation.
-type journalEntry func(s *StateDB)
+// journalKind tags one flat journal entry. Every kind records a state
+// effect; the chain's contract-activity classification inspects kinds
+// via MutatedSince instead of counting opaque closures.
+type journalKind uint8
+
+// Journal entry kinds.
+const (
+	// kindAccountCreate: getOrCreate installed a fresh account struct
+	// (possibly displacing a deleted one, carried in prevAcc/existed).
+	kindAccountCreate journalKind = iota + 1
+	// kindNonce: prevU64 holds the previous nonce of acc.
+	kindNonce
+	// kindBalance: prevU64 holds the previous balance of acc (covers
+	// both credits and debits).
+	kindBalance
+	// kindCode: prevCode/prevCodeHash hold the previous code of acc.
+	kindCode
+	// kindStorage: key/prevWord/existed hold the previous slot state.
+	kindStorage
+)
+
+// journalEntry is one typed, flat undo record. Entries live inline in a
+// reusable slice: appending a mutation allocates nothing in steady
+// state, where the closure journal allocated a closure (plus captured
+// variables) per mutation.
+type journalEntry struct {
+	kind    journalKind
+	existed bool
+	addr    types.Address
+	// acc is the account struct the mutation applied to; undos restore
+	// its fields directly (reverts run LIFO, so struct identity is the
+	// same one the original mutation saw).
+	acc *account
+	// prevAcc is the accounts-map entry displaced by kindAccountCreate.
+	prevAcc      *account
+	prevU64      uint64
+	key          types.Word
+	prevWord     types.Word
+	prevCode     []byte
+	prevCodeHash *types.Hash
+}
+
+// revert undoes the entry against s.
+func (e *journalEntry) revert(s *StateDB) {
+	s.touch(e.addr)
+	switch e.kind {
+	case kindAccountCreate:
+		if e.existed {
+			s.accounts[e.addr] = e.prevAcc
+		} else {
+			delete(s.accounts, e.addr)
+		}
+	case kindNonce:
+		e.acc.nonce = e.prevU64
+	case kindBalance:
+		e.acc.balance = e.prevU64
+	case kindCode:
+		e.acc.code, e.acc.codeHash = e.prevCode, e.prevCodeHash
+	case kindStorage:
+		e.acc.touchSlot(e.key)
+		if e.existed {
+			e.acc.storage[e.key] = e.prevWord
+		} else {
+			delete(e.acc.storage, e.key)
+		}
+	}
+}
 
 // New returns an empty state.
 func New() *StateDB {
@@ -93,13 +158,8 @@ func (s *StateDB) getOrCreate(addr types.Address) *account {
 	prev, existed := s.accounts[addr]
 	s.accounts[addr] = acc
 	s.touch(addr)
-	s.journal = append(s.journal, func(st *StateDB) {
-		st.touch(addr)
-		if existed {
-			st.accounts[addr] = prev
-		} else {
-			delete(st.accounts, addr)
-		}
+	s.journal = append(s.journal, journalEntry{
+		kind: kindAccountCreate, addr: addr, prevAcc: prev, existed: existed,
 	})
 	return acc
 }
@@ -132,9 +192,8 @@ func (s *StateDB) SetNonce(addr types.Address, nonce uint64) {
 	prev := acc.nonce
 	acc.nonce = nonce
 	s.touch(addr)
-	s.journal = append(s.journal, func(st *StateDB) {
-		st.touch(addr)
-		acc.nonce = prev
+	s.journal = append(s.journal, journalEntry{
+		kind: kindNonce, addr: addr, acc: acc, prevU64: prev,
 	})
 }
 
@@ -152,9 +211,8 @@ func (s *StateDB) AddBalance(addr types.Address, amount uint64) {
 	prev := acc.balance
 	acc.balance = prev + amount
 	s.touch(addr)
-	s.journal = append(s.journal, func(st *StateDB) {
-		st.touch(addr)
-		acc.balance = prev
+	s.journal = append(s.journal, journalEntry{
+		kind: kindBalance, addr: addr, acc: acc, prevU64: prev,
 	})
 }
 
@@ -168,9 +226,8 @@ func (s *StateDB) SubBalance(addr types.Address, amount uint64) bool {
 	prev := acc.balance
 	acc.balance = prev - amount
 	s.touch(addr)
-	s.journal = append(s.journal, func(st *StateDB) {
-		st.touch(addr)
-		acc.balance = prev
+	s.journal = append(s.journal, journalEntry{
+		kind: kindBalance, addr: addr, acc: acc, prevU64: prev,
 	})
 	return true
 }
@@ -191,9 +248,8 @@ func (s *StateDB) SetCode(addr types.Address, code []byte) {
 	acc.code = append([]byte{}, code...)
 	acc.codeHash = nil
 	s.touch(addr)
-	s.journal = append(s.journal, func(st *StateDB) {
-		st.touch(addr)
-		acc.code, acc.codeHash = prev, prevHash
+	s.journal = append(s.journal, journalEntry{
+		kind: kindCode, addr: addr, acc: acc, prevCode: prev, prevCodeHash: prevHash,
 	})
 }
 
@@ -216,19 +272,46 @@ func (s *StateDB) SetState(addr types.Address, key, value types.Word) {
 	}
 	acc.touchSlot(key)
 	s.touch(addr)
-	s.journal = append(s.journal, func(st *StateDB) {
-		st.touch(addr)
-		acc.touchSlot(key)
-		if existed {
-			acc.storage[key] = prev
-		} else {
-			delete(acc.storage, key)
-		}
+	s.journal = append(s.journal, journalEntry{
+		kind: kindStorage, addr: addr, acc: acc, key: key, prevWord: prev, existed: existed,
 	})
 }
 
 // Snapshot returns an identifier for the current journal position.
 func (s *StateDB) Snapshot() int { return len(s.journal) }
+
+// ReserveJournal pre-sizes the undo log for at least n more entries.
+// Block processors call it once per body so the flat journal grows in
+// one allocation instead of doubling through every append of the
+// replay (the entries are value structs, so growth copies payload, not
+// pointers).
+func (s *StateDB) ReserveJournal(n int) {
+	if cap(s.journal)-len(s.journal) >= n {
+		return
+	}
+	j := make([]journalEntry, len(s.journal), len(s.journal)+n)
+	copy(j, s.journal)
+	s.journal = j
+}
+
+// MutatedSince reports whether any state mutation was journaled after
+// the given snapshot — the chain's contract-activity check. It inspects
+// entry kinds rather than raw journal length so the classification
+// stays explicit about WHAT counts as activity: every current kind
+// records a state effect, and any future bookkeeping-only kind must opt
+// out here instead of silently reading as contract activity.
+func (s *StateDB) MutatedSince(snap int) bool {
+	if snap < 0 || snap > len(s.journal) {
+		panic(fmt.Sprintf("statedb: invalid snapshot id %d (journal length %d)", snap, len(s.journal)))
+	}
+	for i := snap; i < len(s.journal); i++ {
+		switch s.journal[i].kind {
+		case kindAccountCreate, kindNonce, kindBalance, kindCode, kindStorage:
+			return true
+		}
+	}
+	return false
+}
 
 // RevertToSnapshot undoes every mutation made after the snapshot was
 // taken. It panics on a snapshot id that was never handed out — a silent
@@ -238,13 +321,20 @@ func (s *StateDB) RevertToSnapshot(id int) {
 		panic(fmt.Sprintf("statedb: invalid snapshot id %d (journal length %d)", id, len(s.journal)))
 	}
 	for i := len(s.journal) - 1; i >= id; i-- {
-		s.journal[i](s)
+		s.journal[i].revert(s)
+		s.journal[i] = journalEntry{} // release held pointers
 	}
 	s.journal = s.journal[:id]
 }
 
-// DiscardJournal forgets undo history (e.g. after a block commits).
-func (s *StateDB) DiscardJournal() { s.journal = nil }
+// DiscardJournal forgets undo history (e.g. after a block commits). The
+// entry slice keeps its capacity for the next transaction; held
+// pointers are released so reverted accounts and replaced code can be
+// collected.
+func (s *StateDB) DiscardJournal() {
+	clear(s.journal)
+	s.journal = s.journal[:0]
+}
 
 // Copy returns a deep copy with an empty journal. The copy shares the
 // source's (immutable) trie nodes, cached encodings and code slices;

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sereth/internal/keccak"
 	"sereth/internal/rlp"
 )
 
@@ -176,13 +177,21 @@ func DeriveTxRoot(txs []*Transaction) Hash {
 	return Keccak(rlp.Encode(rlp.List(items...)))
 }
 
-// DeriveReceiptRoot computes the ordered commitment over a receipt list.
+// DeriveReceiptRoot computes the ordered commitment over a receipt
+// list: the hash of the RLP list of per-receipt hashes (the same
+// structure as DeriveTxRoot). Receipts encode through the flat append
+// path into one reused scratch buffer — the Item-tree encoder this
+// replaces dominated the full-replay allocation profile — and the
+// output bytes (and therefore the root) are unchanged.
 func DeriveReceiptRoot(receipts []*Receipt) Hash {
-	items := make([]rlp.Item, len(receipts))
-	for i, r := range receipts {
-		items[i] = rlp.String(Keccak(r.EncodeRLP()).Word().Hash().Bytes())
+	var enc []byte
+	payload := make([]byte, 0, 33*len(receipts))
+	for _, r := range receipts {
+		enc = r.AppendRLP(enc[:0])
+		h := keccak.Sum256(enc)
+		payload = rlp.AppendString(payload, h[:])
 	}
-	return Keccak(rlp.Encode(rlp.List(items...)))
+	return Hash(keccak.Sum256(rlp.AppendList(nil, payload)))
 }
 
 // Bytes returns the hash as a byte slice (helper for RLP interop).

@@ -33,16 +33,18 @@ type Transaction struct {
 // fields are written before the pointer is published and never after,
 // so concurrent readers need no synchronization.
 type txDerived struct {
-	hash   Hash
-	sel    Selector
-	selOK  bool
-	fpv    FPV
-	fpvErr error
-	mark   Word // NextMark(fpv.PrevMark, fpv.Value); zero unless fpvErr == nil
+	hash    Hash
+	sigHash Hash
+	sel     Selector
+	selOK   bool
+	fpv     FPV
+	fpvErr  error
+	mark    Word // NextMark(fpv.PrevMark, fpv.Value); zero unless fpvErr == nil
 }
 
 // Memoize computes and caches the transaction's derived data — identity
-// hash, calldata selector, FPV tuple and HMS mark — so later accessors
+// hash, signature digest, calldata selector, FPV tuple and HMS mark — so
+// later accessors
 // are allocation-free lookups. It freezes the transaction: callers must
 // not mutate any field afterwards. The transaction pool memoizes every
 // transaction at admission; Memoize itself is not safe for concurrent
@@ -62,7 +64,7 @@ func (tx *Transaction) MemoizeWithHash(hash Hash) *Transaction {
 	if tx.derived != nil {
 		return tx
 	}
-	d := &txDerived{hash: hash}
+	d := &txDerived{hash: hash, sigHash: tx.computeSigHash()}
 	d.sel, d.selOK = CallSelector(tx.Data)
 	d.fpv, d.fpvErr = DecodeFPV(tx.Data)
 	if d.fpvErr == nil {
@@ -87,18 +89,34 @@ var (
 )
 
 // SigHash returns the digest a sender signs: the hash of the transaction
-// content excluding the signature itself.
+// content excluding the signature itself. Memoized transactions serve it
+// from the derived cache — a block body's shared frozen instances are
+// signature-verified by every importing peer, and re-encoding the
+// content per verification dominated the replay profile.
 func (tx *Transaction) SigHash() Hash {
-	enc := rlp.Encode(rlp.List(
-		rlp.Uint(tx.Nonce),
-		rlp.String(tx.To[:]),
-		rlp.Uint(tx.Value),
-		rlp.Uint(tx.GasPrice),
-		rlp.Uint(tx.GasLimit),
-		rlp.String(tx.Data),
-		rlp.String(tx.From[:]),
-	))
-	return Keccak(enc)
+	if d := tx.derived; d != nil {
+		return d.sigHash
+	}
+	return tx.computeSigHash()
+}
+
+// appendSigPayload appends the encodings of the signed fields — the
+// payload of the SigHash list, and a strict prefix of the identity-hash
+// list's payload (which adds only the signature). Byte-identical to the
+// Item-tree forms those hashes originally used.
+func (tx *Transaction) appendSigPayload(out []byte) []byte {
+	out = rlp.AppendUint(out, tx.Nonce)
+	out = rlp.AppendString(out, tx.To[:])
+	out = rlp.AppendUint(out, tx.Value)
+	out = rlp.AppendUint(out, tx.GasPrice)
+	out = rlp.AppendUint(out, tx.GasLimit)
+	out = rlp.AppendString(out, tx.Data)
+	out = rlp.AppendString(out, tx.From[:])
+	return out
+}
+
+func (tx *Transaction) computeSigHash() Hash {
+	return Keccak(rlp.AppendList(nil, tx.appendSigPayload(nil)))
 }
 
 // Hash returns the transaction identity hash (content + signature),
@@ -111,7 +129,9 @@ func (tx *Transaction) Hash() Hash {
 }
 
 func (tx *Transaction) computeHash() Hash {
-	return Keccak(rlp.Encode(tx.toItem()))
+	payload := tx.appendSigPayload(make([]byte, 0, 192))
+	payload = rlp.AppendString(payload, tx.Sig[:])
+	return Keccak(rlp.AppendList(nil, payload))
 }
 
 func (tx *Transaction) toItem() rlp.Item {
@@ -259,12 +279,29 @@ type Receipt struct {
 
 // EncodeRLP serializes the receipt for the receipt trie.
 func (r *Receipt) EncodeRLP() []byte {
-	return rlp.Encode(rlp.List(
-		rlp.String(r.TxHash[:]),
-		rlp.Uint(uint64(r.Status)),
-		rlp.Uint(r.GasUsed),
-		rlp.String(r.ReturnValue[:]),
-		rlp.Uint(r.BlockNumber),
-		rlp.Uint(uint64(r.TxIndex)),
-	))
+	return r.AppendRLP(nil)
+}
+
+// AppendRLP appends the receipt's RLP encoding to out — the same bytes
+// as EncodeRLP via the flat append path (one buffer, no Item tree).
+// DeriveReceiptRoot encodes every receipt of a block through it with a
+// single reused scratch buffer.
+func (r *Receipt) AppendRLP(out []byte) []byte {
+	// The two 32-byte hash fields alone put the payload in [70, 95]
+	// bytes — always the two-byte long-list header (0xf8, len) and
+	// never more than 255 — so the header is reserved up front and
+	// length-patched after encoding the fields in place. This keeps the
+	// whole receipt in the caller's buffer (zero scratch allocations);
+	// TestReceiptAppendRLPMatchesItemTree pins byte-identity with the
+	// Item-tree form across the field ranges.
+	start := len(out)
+	out = append(out, 0xf8, 0)
+	out = rlp.AppendString(out, r.TxHash[:])
+	out = rlp.AppendUint(out, uint64(r.Status))
+	out = rlp.AppendUint(out, r.GasUsed)
+	out = rlp.AppendString(out, r.ReturnValue[:])
+	out = rlp.AppendUint(out, r.BlockNumber)
+	out = rlp.AppendUint(out, uint64(r.TxIndex))
+	out[start+1] = byte(len(out) - start - 2)
+	return out
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"sereth/internal/rlp"
 )
 
 func TestWordUint64RoundTrip(t *testing.T) {
@@ -399,5 +401,44 @@ func TestMarkWithoutFPV(t *testing.T) {
 	}
 	if _, err := tx.FPV(); err == nil {
 		t.Error("memoized short calldata decoded an FPV")
+	}
+}
+
+// TestReceiptAppendRLPMatchesItemTree pins the flat header-patching
+// receipt encoder byte-identical to the Item-tree form across the field
+// extremes (the patch assumes the payload always takes the two-byte
+// long-list header; the hash fields guarantee it).
+func TestReceiptAppendRLPMatchesItemTree(t *testing.T) {
+	itemTree := func(r *Receipt) []byte {
+		return rlp.Encode(rlp.List(
+			rlp.String(r.TxHash[:]),
+			rlp.Uint(uint64(r.Status)),
+			rlp.Uint(r.GasUsed),
+			rlp.String(r.ReturnValue[:]),
+			rlp.Uint(r.BlockNumber),
+			rlp.Uint(uint64(r.TxIndex)),
+		))
+	}
+	max := ^uint64(0)
+	receipts := []*Receipt{
+		{},
+		{Status: StatusSucceeded, GasUsed: 1, BlockNumber: 1, TxIndex: 1},
+		{TxHash: Hash{0xff}, GasUsed: 21000, ReturnValue: WordFromUint64(42), BlockNumber: 128, TxIndex: 99},
+		{TxHash: Hash{1, 2, 3}, Status: StatusSucceeded, GasUsed: max, ReturnValue: Word{0xaa}, BlockNumber: max, TxIndex: 1<<31 - 1},
+	}
+	for i, r := range receipts {
+		got := r.AppendRLP(nil)
+		want := itemTree(r)
+		if !bytes.Equal(got, want) {
+			t.Errorf("receipt %d: AppendRLP %x, item tree %x", i, got, want)
+		}
+		if enc := r.EncodeRLP(); !bytes.Equal(enc, want) {
+			t.Errorf("receipt %d: EncodeRLP %x, item tree %x", i, enc, want)
+		}
+		// Appending after existing bytes must not disturb the prefix.
+		pre := []byte{0xde, 0xad}
+		if got := r.AppendRLP(pre); !bytes.Equal(got[:2], pre) || !bytes.Equal(got[2:], want) {
+			t.Errorf("receipt %d: AppendRLP with prefix diverged", i)
+		}
 	}
 }
