@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-eta
+.PHONY: all build test race vet bench bench-eta chaos-smoke
 
 all: vet build test
 
@@ -25,3 +25,9 @@ bench:
 # (the shared η table in internal/scenarios).
 bench-eta:
 	$(GO) test -run '^$$' -bench 'BenchmarkEta|BenchmarkSequential' -benchtime 1x .
+
+# chaos-smoke runs the fault-injection determinism/convergence tests and
+# a short churn+partition sweep under the race detector.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosConcurrent|TestChaosTraceDeterministic|TestPartitionHealConverges|TestChurnRejoinCatchUp' ./internal/sim
+	$(GO) run -race ./cmd/serethsim -experiment chaos -quick -runs 2 -churn -partition

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,6 +38,13 @@ type Record struct {
 	Eta         float64 `json:"eta,omitempty"`
 	HasEta      bool    `json:"has_eta"`
 	MsgsPerSec  float64 `json:"msgs_per_sec,omitempty"`
+	// chaos/ rows: η of the honest twin (same seeds, faults disabled),
+	// the degradation against it, and pooled resync-latency percentiles
+	// (churn variants only).
+	HonestEta   float64 `json:"honest_eta,omitempty"`
+	EtaDrop     float64 `json:"eta_drop,omitempty"`
+	ResyncP50Ms float64 `json:"resync_p50_ms,omitempty"`
+	ResyncP90Ms float64 `json:"resync_p90_ms,omitempty"`
 }
 
 // Report is the serialized BENCH file.
@@ -55,6 +63,9 @@ func main() {
 	add := func(r Record) {
 		records = append(records, r)
 		switch {
+		case r.HonestEta > 0:
+			fmt.Printf("%-48s %12.0f ns/op   eta=%.2f honest=%.2f drop=%+.2f\n",
+				r.Name, r.NsPerOp, r.Eta, r.HonestEta, r.EtaDrop)
 		case r.HasEta:
 			fmt.Printf("%-48s %12.0f ns/op   eta=%.2f\n", r.Name, r.NsPerOp, r.Eta)
 		case r.MsgsPerSec > 0:
@@ -91,6 +102,9 @@ func main() {
 	add(admitBatch100())
 	add(interp100Op())
 	add(journalChurn())
+	for _, r := range chaosRows() {
+		add(r)
+	}
 
 	report := Report{
 		Date:      time.Now().Format("2006-01-02"),
@@ -292,6 +306,39 @@ func interp100Op() Record {
 // acceptance mark is zero allocs in steady state).
 func journalChurn() Record {
 	return benchRecord("statedb/journal-churn", testing.Benchmark(scenarios.BenchJournalChurn))
+}
+
+// chaosRows runs every chaos fault-injection variant over two seeds and
+// records η under faults against the honest twin (same configuration
+// and seeds, faults disabled), plus resync-latency percentiles for the
+// churn variants. ns/op is wall time per seeded run, faulty and honest
+// twin included.
+func chaosRows() []Record {
+	seeds := sim.DefaultSeeds(2)
+	var out []Record
+	for _, v := range sim.ChaosVariants {
+		start := time.Now()
+		points, err := sim.RunChaos([]string{v.Name}, seeds, nil)
+		if err != nil || len(points) != 1 {
+			fmt.Fprintf(os.Stderr, "serethbench: %s: %v\n", v.Name, err)
+			os.Exit(1)
+		}
+		p := points[0]
+		rec := Record{
+			Name:      "chaos/" + strings.TrimPrefix(v.Name, "chaos_"),
+			NsPerOp:   float64(time.Since(start).Nanoseconds()) / float64(2*len(seeds)),
+			Eta:       p.Eta.Mean,
+			HasEta:    true,
+			HonestEta: p.HonestEta.Mean,
+			EtaDrop:   p.EtaDrop,
+		}
+		if p.Rejoins > 0 {
+			rec.ResyncP50Ms = p.ResyncP50Ms
+			rec.ResyncP90Ms = p.ResyncP90Ms
+		}
+		out = append(out, rec)
+	}
+	return out
 }
 
 func viewFromScratch() Record {

@@ -4,14 +4,17 @@
 // sanity check, the ablations catalogued in DESIGN.md §3, and the
 // sustained-overload mempool-eviction family, and the burst-submission
 // family (buys shipped through the batched admission + gossip
-// pipeline). The -peers/-clients/-topology/-degree flags rescale every
-// experiment from the paper's 3-peer rig to an N-peer population over
-// an arbitrary gossip graph.
+// pipeline), and the chaos fault-injection family (churn, partitions,
+// lossy links, and adversarial actors, each measured against an honest
+// twin at the same seeds). The -peers/-clients/-topology/-degree flags
+// rescale every experiment from the paper's 3-peer rig to an N-peer
+// population over an arbitrary gossip graph.
 //
 // Usage:
 //
 //	serethsim -experiment figure2 -runs 10
 //	serethsim -experiment figure2 -peers 50 -clients 2 -topology dregular -degree 6
+//	serethsim -experiment chaos -churn -partition -runs 3
 //	serethsim -experiment all
 package main
 
@@ -33,7 +36,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("serethsim", flag.ContinueOnError)
 	experiment := fs.String("experiment", "figure2",
-		"one of: figure2, sequential, participation, gossip, interval, extendheads, overload, burst, all")
+		"one of: figure2, sequential, participation, gossip, interval, extendheads, overload, burst, chaos, all")
 	runs := fs.Int("runs", 10, "seeded runs per data point")
 	quick := fs.Bool("quick", false, "smaller sweep for a fast check")
 	peers := fs.Int("peers", 0, "total peer count (miners + clients); 0 keeps the paper's 3-peer rig")
@@ -42,8 +45,21 @@ func run(args []string) error {
 	degree := fs.Int("degree", 0, "neighbor degree for -topology dregular")
 	lazyClients := fs.Bool("lazy-clients", false,
 		"client peers adopt shared validated executions without re-verification (large -peers sweeps)")
+	churn := fs.Bool("churn", false, "chaos: include the churn variant (flags combine; none selected = every variant)")
+	partition := fs.Bool("partition", false, "chaos: include the partition variant")
+	loss := fs.Bool("loss", false, "chaos: include the lossy-links variant")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var chaosNames []string
+	if *churn {
+		chaosNames = append(chaosNames, "chaos_churn")
+	}
+	if *partition {
+		chaosNames = append(chaosNames, "chaos_partition")
+	}
+	if *loss {
+		chaosNames = append(chaosNames, "chaos_loss")
 	}
 	seeds := sim.DefaultSeeds(*runs)
 	shape, err := shapeFromFlags(*peers, *clients, *topology, *degree)
@@ -61,9 +77,12 @@ func run(args []string) error {
 		"extendheads":   runExtendHeads,
 		"overload":      runOverload,
 		"burst":         runBurst,
+		"chaos": func(shape sim.Shape, seeds []int64, quick bool) error {
+			return runChaos(shape, seeds, quick, chaosNames)
+		},
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads", "overload", "burst"} {
+		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads", "overload", "burst", "chaos"} {
 			fmt.Printf("\n=== %s ===\n", name)
 			if err := experiments[name](shape, seeds, *quick); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -240,6 +259,38 @@ func runBurst(shape sim.Shape, seeds []int64, quick bool) error {
 	for _, p := range points {
 		fmt.Printf("burst=%-3d  η=%.3f ±%.3f  msgs/run=%.0f\n",
 			p.BurstSize, p.Eta.Mean, p.Eta.CI90, p.Msgs.Mean)
+	}
+	return nil
+}
+
+func runChaos(shape sim.Shape, seeds []int64, quick bool, names []string) error {
+	if quick {
+		if len(seeds) > 2 {
+			seeds = seeds[:2]
+		}
+		if len(names) == 0 {
+			names = []string{"chaos_churn", "chaos_partition", "chaos_loss"}
+		}
+	}
+	points, err := sim.RunChaos(names, seeds, func(line string) {
+		fmt.Println(line)
+	}, shape)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nchaos family: η under faults vs the honest twin (same seeds, faults disabled)")
+	for _, p := range points {
+		fmt.Printf("%-16s η=%.3f ±%.3f  honest=%.3f  drop=%+.3f  orphaned=%.1f  censored=%.1f  converged=%v\n",
+			p.Variant, p.Eta.Mean, p.Eta.CI90, p.HonestEta.Mean, p.EtaDrop,
+			p.Orphaned.Mean, p.Censored.Mean, p.Converged)
+		if p.Rejoins > 0 {
+			fmt.Printf("%-16s rejoins=%d  resync p50=%.0fms p90=%.0fms  incomplete=%d\n",
+				"", p.Rejoins, p.ResyncP50Ms, p.ResyncP90Ms, p.ResyncIncomplete)
+		}
+		if p.AttackSent > 0 || p.ForgedAccepted > 0 {
+			fmt.Printf("%-16s attack txs sent=%d included=%d succeeded=%d  forged blocks accepted=%d\n",
+				"", p.AttackSent, p.AttackIncluded, p.AttackSucceeded, p.ForgedAccepted)
+		}
 	}
 	return nil
 }

@@ -5,16 +5,17 @@
 // round-trip. With HMS marks each buy is cryptographically bound to the
 // exact interval it was issued in, so the contract can tell A and B
 // apart and the intermediate set(7) is never silently lost.
+//
+// The history itself lives in internal/scenarios (shared with the test
+// suite and mirrored at network scale by `serethsim -experiment chaos`'s
+// frontrunner actor); this walkthrough narrates its outcome.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"sereth"
-	"sereth/internal/evm"
-	"sereth/internal/statedb"
-	"sereth/internal/types"
+	"sereth/internal/scenarios"
 )
 
 func main() {
@@ -25,75 +26,16 @@ func main() {
 }
 
 func run() error {
-	st := statedb.New()
-	contract := types.Address{19: 0xcc}
-	st.SetCode(contract, sereth.SerethContract())
-	machine := evm.New(st, evm.BlockContext{Number: 1})
-
-	owner := sereth.NewKey("owner")
-	alice := sereth.NewKey("alice")
-	bob := sereth.NewKey("bob")
-
-	call := func(from sereth.Address, sel sereth.Selector, flag, mark, value sereth.Word) (uint64, error) {
-		res := machine.Call(evm.CallContext{
-			Caller:   from,
-			Contract: contract,
-			Input:    sereth.EncodeCall(sel, flag, mark, value),
-			Gas:      1_000_000,
-		})
-		if res.Err != nil {
-			return 0, res.Err
-		}
-		v, _ := res.ReturnWord().Uint64()
-		return v, nil
-	}
-
-	five := sereth.WordFromUint64(5)
-	seven := sereth.WordFromUint64(7)
-
-	// Build the history: set(5) — the first price-5 interval.
-	m0 := sereth.Word{}
-	if _, err := call(owner.Address(), sereth.SelSet, sereth.FlagHead, m0, five); err != nil {
-		return err
-	}
-	m1 := sereth.NextMark(m0, five)
-
-	// Alice buys in the FIRST price-5 interval: her offer carries m1.
-	ok, err := call(alice.Address(), sereth.SelBuy, sereth.FlagChain, m1, five)
+	demo, err := scenarios.RunFrontrunningDemo()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("alice buys at 5 in interval 1: success=%d (mark %s)\n", ok, m1.Hex()[:18])
-
-	// The price round-trips: set(7), then set(5) again.
-	if _, err := call(owner.Address(), sereth.SelSet, sereth.FlagChain, m1, seven); err != nil {
-		return err
-	}
-	m2 := sereth.NextMark(m1, seven)
-	if _, err := call(owner.Address(), sereth.SelSet, sereth.FlagChain, m2, five); err != nil {
-		return err
-	}
-	m3 := sereth.NextMark(m2, five)
-
-	// Bob buys at 5 in the SECOND price-5 interval — same price, but a
-	// different, provably distinct mark.
-	ok, err = call(bob.Address(), sereth.SelBuy, sereth.FlagChain, m3, five)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("bob   buys at 5 in interval 2: success=%d (mark %s)\n", ok, m3.Hex()[:18])
-	fmt.Printf("marks differ: %v — each buy proves which interval it was sent in\n", m1 != m3)
-
-	// The frontrunning attempt: replaying Alice's interval-1 offer now
-	// (as a frontrunner who captured it would) fails — the mark is stale
-	// even though the price matches.
-	ok, err = call(alice.Address(), sereth.SelBuy, sereth.FlagChain, m1, five)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("replay of the interval-1 offer after the round-trip: success=%d\n", ok)
-	if ok != 0 {
-		return fmt.Errorf("stale-interval offer was accepted")
+	fmt.Printf("alice buys at 5 in interval 1: success=%v (mark %s)\n", demo.AliceSucceeded, demo.M1.Hex()[:18])
+	fmt.Printf("bob   buys at 5 in interval 2: success=%v (mark %s)\n", demo.BobSucceeded, demo.M3.Hex()[:18])
+	fmt.Printf("marks differ: %v — each buy proves which interval it was sent in\n", demo.MarksDiffer())
+	fmt.Printf("replay of the interval-1 offer after the round-trip: rejected=%v\n", demo.ReplayRejected)
+	if !demo.Defended() {
+		return fmt.Errorf("lost-update defense failed: %+v", demo)
 	}
 	fmt.Println("the intermediate set(7) is preserved in the mark chain — no lost update")
 	return nil

@@ -28,6 +28,7 @@ var (
 	ErrBadSignature    = errors.New("chain: invalid transaction signature")
 	ErrBadNonce        = errors.New("chain: invalid transaction nonce")
 	ErrGasLimitReached = errors.New("chain: block gas limit exceeded")
+	ErrForkTooShort    = errors.New("chain: competing chain does not exceed current head")
 )
 
 // Config parameterizes a chain instance.
@@ -68,6 +69,13 @@ type Chain struct {
 	byHash   map[types.Hash]*types.Block
 	receipts map[types.Hash][]*types.Receipt // block hash -> receipts
 	state    *statedb.StateDB                // post-head state
+	// posts retains every adopted block's post state by block hash, so a
+	// longest-chain reorg (ImportFork) can re-validate a competing branch
+	// from its attachment point. Post states are immutable once flushed
+	// and structurally share unchanged trie nodes, so retention is cheap
+	// at simulation scale.
+	posts    map[types.Hash]*statedb.StateDB
+	orphaned uint64 // canonical blocks displaced by reorgs
 }
 
 // New creates a chain whose genesis commits the given pre-state.
@@ -88,6 +96,7 @@ func New(cfg Config, genesisState *statedb.StateDB) *Chain {
 		byHash:   map[types.Hash]*types.Block{genesis.Hash(): genesis},
 		receipts: map[types.Hash][]*types.Receipt{},
 		state:    state,
+		posts:    map[types.Hash]*statedb.StateDB{genesis.Hash(): state},
 	}
 	return c
 }
@@ -214,7 +223,20 @@ func (c *Chain) InsertBlock(block *types.Block) ([]*types.Receipt, error) {
 		return nil, err
 	}
 
-	key := ExecKey{ParentRoot: head.Header.StateRoot, BlockHash: block.Hash()}
+	receipts, post, err := c.verifyBlockLocked(head.Header.StateRoot, c.state, block)
+	if err != nil {
+		return nil, err
+	}
+	c.adopt(block, receipts, post)
+	return receipts, nil
+}
+
+// verifyBlockLocked validates a block body against its parent state
+// (cache-aware) and returns the resulting receipts and post state. It
+// does not check parent linkage, number, or seal — callers do — and does
+// not mutate the chain.
+func (c *Chain) verifyBlockLocked(parentRoot types.Hash, parentState *statedb.StateDB, block *types.Block) ([]*types.Receipt, *statedb.StateDB, error) {
+	key := ExecKey{ParentRoot: parentRoot, BlockHash: block.Hash()}
 	if c.cfg.ExecCache != nil {
 		if entry, ok := c.cfg.ExecCache.Get(key); ok {
 			if !c.cfg.LazyValidation {
@@ -233,48 +255,145 @@ func (c *Chain) InsertBlock(block *types.Block) ([]*types.Receipt, error) {
 				// frozen transactions and the cache's shared post states,
 				// an admitted block's body is immutable by contract.
 				if got := block.TxRoot(); got != block.Header.TxRoot {
-					return nil, ErrBadTxRoot
+					return nil, nil, ErrBadTxRoot
 				}
 				if entry.GasUsed != block.Header.GasUsed {
-					return nil, fmt.Errorf("%w: replay %d, header %d", ErrBadGasUsed, entry.GasUsed, block.Header.GasUsed)
+					return nil, nil, fmt.Errorf("%w: replay %d, header %d", ErrBadGasUsed, entry.GasUsed, block.Header.GasUsed)
 				}
 				if entry.ReceiptRoot != block.Header.ReceiptRoot {
-					return nil, ErrBadReceiptRoot
+					return nil, nil, ErrBadReceiptRoot
 				}
 				if entry.StateRoot != block.Header.StateRoot {
-					return nil, fmt.Errorf("%w: replay %s, header %s", ErrBadStateRoot, entry.StateRoot.Hex(), block.Header.StateRoot.Hex())
+					return nil, nil, fmt.Errorf("%w: replay %s, header %s", ErrBadStateRoot, entry.StateRoot.Hex(), block.Header.StateRoot.Hex())
 				}
 			}
-			c.adopt(block, entry.Receipts, entry.Post)
-			return entry.Receipts, nil
+			return entry.Receipts, entry.Post, nil
 		}
 	}
 
 	if got := block.TxRoot(); got != block.Header.TxRoot {
-		return nil, ErrBadTxRoot
+		return nil, nil, ErrBadTxRoot
 	}
 	// One Process call yields the receipts AND the memoized roots; the
 	// header checks below compare against them instead of re-deriving,
 	// and a cache Put shares the very same ExecResult with every later
 	// importer.
-	res, err := c.proc.Process(c.state, block.Header, block.Txs)
+	res, err := c.proc.Process(parentState, block.Header, block.Txs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if res.GasUsed != block.Header.GasUsed {
-		return nil, fmt.Errorf("%w: replay %d, header %d", ErrBadGasUsed, res.GasUsed, block.Header.GasUsed)
+		return nil, nil, fmt.Errorf("%w: replay %d, header %d", ErrBadGasUsed, res.GasUsed, block.Header.GasUsed)
 	}
 	if res.ReceiptRoot != block.Header.ReceiptRoot {
-		return nil, ErrBadReceiptRoot
+		return nil, nil, ErrBadReceiptRoot
 	}
 	if res.StateRoot != block.Header.StateRoot {
-		return nil, fmt.Errorf("%w: replay %s, header %s", ErrBadStateRoot, res.StateRoot.Hex(), block.Header.StateRoot.Hex())
+		return nil, nil, fmt.Errorf("%w: replay %s, header %s", ErrBadStateRoot, res.StateRoot.Hex(), block.Header.StateRoot.Hex())
 	}
 	if c.cfg.ExecCache != nil {
 		c.cfg.ExecCache.Put(key, res)
 	}
-	c.adopt(block, res.Receipts, res.Post)
-	return res.Receipts, nil
+	return res.Receipts, res.Post, nil
+}
+
+// ImportFork adopts a competing branch under the longest-chain rule.
+// blocks must be a parent-linked ascending run whose first block attaches
+// to a canonical block and whose tip is strictly higher than the current
+// head; already-canonical prefix blocks are skipped. Every non-canonical
+// block is fully validated (seal, tx root, replay against the stored
+// parent post state) before ANY chain state changes — a branch that fails
+// validation leaves the chain untouched. Returns the number of canonical
+// blocks orphaned by the switch.
+func (c *Chain) ImportFork(blocks []*types.Block) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(blocks) == 0 {
+		return 0, fmt.Errorf("%w: empty fork", ErrForkTooShort)
+	}
+	// Skip the prefix we already have.
+	i := 0
+	for ; i < len(blocks); i++ {
+		num := blocks[i].Number()
+		if num < uint64(len(c.blocks)) && c.blocks[num].Hash() == blocks[i].Hash() {
+			continue
+		}
+		break
+	}
+	fork := blocks[i:]
+	if len(fork) == 0 {
+		return 0, nil // entirely canonical already
+	}
+	first := fork[0]
+	attach := first.Number()
+	if attach == 0 {
+		return 0, fmt.Errorf("%w: fork replaces genesis", ErrUnknownParent)
+	}
+	if attach >= uint64(len(c.blocks)) {
+		return 0, fmt.Errorf("%w: fork attaches above head", ErrUnknownParent)
+	}
+	parent := c.blocks[attach-1]
+	if first.Header.ParentHash != parent.Hash() {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownParent, first.Header.ParentHash.Hex())
+	}
+	tip := fork[len(fork)-1].Number()
+	if head := c.blocks[len(c.blocks)-1].Number(); tip <= head {
+		return 0, fmt.Errorf("%w: fork tip %d, head %d", ErrForkTooShort, tip, head)
+	}
+
+	// Validate the whole branch before touching canonical state.
+	parentState, ok := c.posts[parent.Hash()]
+	if !ok {
+		return 0, fmt.Errorf("%w: no stored state for %s", ErrUnknownParent, parent.Hash().Hex())
+	}
+	type validated struct {
+		receipts []*types.Receipt
+		post     *statedb.StateDB
+	}
+	results := make([]validated, len(fork))
+	prev := parent
+	prevState := parentState
+	for j, b := range fork {
+		if b.Header.ParentHash != prev.Hash() {
+			return 0, fmt.Errorf("%w: fork not parent-linked at %d", ErrUnknownParent, b.Number())
+		}
+		if b.Header.Number != prev.Number()+1 {
+			return 0, fmt.Errorf("%w: got %d want %d", ErrBadNumber, b.Header.Number, prev.Number()+1)
+		}
+		if err := c.verifySeal(b.Header); err != nil {
+			return 0, err
+		}
+		receipts, post, err := c.verifyBlockLocked(prev.Header.StateRoot, prevState, b)
+		if err != nil {
+			return 0, err
+		}
+		results[j] = validated{receipts: receipts, post: post}
+		prev, prevState = b, post
+	}
+
+	// Commit: truncate the losing suffix and splice in the winner. Orphaned
+	// blocks stay reachable in byHash/receipts as side-chain data; their
+	// transactions are NOT re-injected into pools (measured as orphan loss
+	// by the simulator, where a production node would re-broadcast them).
+	orphaned := len(c.blocks) - int(attach)
+	c.blocks = c.blocks[:attach]
+	for j, b := range fork {
+		c.blocks = append(c.blocks, b)
+		c.byHash[b.Hash()] = b
+		c.receipts[b.Hash()] = results[j].receipts
+		c.posts[b.Hash()] = results[j].post
+	}
+	c.state = results[len(results)-1].post
+	c.orphaned += uint64(orphaned)
+	return orphaned, nil
+}
+
+// Orphaned returns the total number of canonical blocks displaced by
+// reorgs over the chain's lifetime.
+func (c *Chain) Orphaned() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.orphaned
 }
 
 // adopt appends a validated block. post must be flushed (Root called);
@@ -285,6 +404,7 @@ func (c *Chain) adopt(block *types.Block, receipts []*types.Receipt, post *state
 	c.blocks = append(c.blocks, block)
 	c.byHash[block.Hash()] = block
 	c.receipts[block.Hash()] = receipts
+	c.posts[block.Hash()] = post
 	c.state = post
 }
 

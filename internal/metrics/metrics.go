@@ -69,6 +69,30 @@ func Median(xs []float64) float64 {
 	return (cp[mid-1] + cp[mid]) / 2
 }
 
+// Percentile returns the p-quantile (p in [0,1]) of xs by linear
+// interpolation between closest ranks (0 for empty input — callers
+// report percentiles only when samples exist).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64{}, xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 1 {
+		return cp[len(cp)-1]
+	}
+	rank := p * float64(len(cp)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[lo]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
 // MovingAverage smooths a series with a centered window of the given
 // width (the "smoothed averages" of Figure 2). Width < 2 returns a copy.
 func MovingAverage(xs []float64, width int) []float64 {

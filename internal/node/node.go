@@ -7,6 +7,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -85,6 +86,10 @@ type Config struct {
 	// paper's every-peer-replays guarantee (§II-D) and requires an
 	// ExecCache in the chain config to have any effect.
 	Lazy bool
+	// CensorTargets, on a mining node, wraps the ordering strategy in a
+	// censoring adversary that excludes every pending transaction from
+	// the listed senders (robustness experiments).
+	CensorTargets []types.Address
 }
 
 // Node is one peer: a full validating client, optionally mining.
@@ -96,6 +101,7 @@ type Node struct {
 	tracker *hms.Tracker
 	raaSvc  *raa.Service
 	miner   *miner.Miner
+	censor  *miner.Censor // non-nil when CensorTargets is set
 	net     *p2p.Network
 
 	mu    sync.Mutex
@@ -119,6 +125,17 @@ type Node struct {
 	// while the missing block is under cover — otherwise every imported
 	// batch block would re-request a range that is already in flight.
 	syncCover uint64
+	// fork buffers competing-branch candidates: blocks at or below
+	// head+1 whose parent is not our head (ErrUnknownParent on import).
+	// When a parent-linked run in the buffer attaches to a canonical
+	// block and outgrows the head, it is handed to chain.ImportFork —
+	// the longest-chain resolution that lets partitioned groups converge
+	// after a heal. forkFrontier/forkAsked dedup the back-walk requests
+	// for blocks below the earliest buffered candidate, mirroring
+	// syncFrontier/syncAsked.
+	fork         map[uint64]orphanEntry
+	forkFrontier uint64
+	forkAsked    map[p2p.PeerID]struct{}
 }
 
 // orphanEntry is a buffered ahead-of-head block plus the peer it came
@@ -139,6 +156,9 @@ type Stats struct {
 	TxRejected     uint64
 	BlocksImported uint64
 	BlocksRejected uint64
+	// BlocksOrphaned counts canonical blocks this node displaced via
+	// longest-chain reorgs (partition heals).
+	BlocksOrphaned uint64
 }
 
 var (
@@ -195,17 +215,25 @@ func New(cfg Config) (*Node, error) {
 	if window < 0 {
 		window = miner.DefaultReorderWindow
 	}
+	var strategy miner.Strategy
 	switch cfg.Miner {
 	case MinerNone:
 	case MinerBaseline:
-		n.miner = miner.NewMiner(c, n.pool, miner.NewBaselineWindow(cfg.Seed, window), minerAddress(cfg.ID))
+		strategy = miner.NewBaselineWindow(cfg.Seed, window)
 	case MinerSemantic:
 		if n.tracker == nil {
 			return nil, fmt.Errorf("node %d: semantic mining requires sereth mode", cfg.ID)
 		}
-		n.miner = miner.NewMiner(c, n.pool, miner.NewSemanticWindow(n.tracker, cfg.Seed, window), minerAddress(cfg.ID))
+		strategy = miner.NewSemanticWindow(n.tracker, cfg.Seed, window)
 	default:
 		return nil, fmt.Errorf("node %d: unknown miner kind %d", cfg.ID, cfg.Miner)
+	}
+	if strategy != nil {
+		if len(cfg.CensorTargets) > 0 {
+			n.censor = miner.NewCensor(strategy, cfg.CensorTargets)
+			strategy = n.censor
+		}
+		n.miner = miner.NewMiner(c, n.pool, strategy, minerAddress(cfg.ID))
 	}
 
 	cfg.Network.Join(cfg.ID, n)
@@ -322,8 +350,13 @@ func (n *Node) HandleBlock(from p2p.PeerID, block *types.Block) {
 		}
 		return
 	}
-	if n.importBlock(block) {
+	if err := n.importBlock(block); err == nil {
 		n.drainOrphans()
+	} else if errors.Is(err, chain.ErrUnknownParent) {
+		// A block at or below head+1 whose parent isn't our head: a
+		// competing branch (fork) — collect candidates and reorg when the
+		// branch attaches and outgrows us.
+		n.noteForkBlock(from, block)
 	}
 }
 
@@ -408,18 +441,18 @@ func (n *Node) drainOrphans() {
 			}
 			return
 		}
-		if !n.importBlock(entry.block) {
+		if n.importBlock(entry.block) != nil {
 			return
 		}
 	}
 }
 
-func (n *Node) importBlock(block *types.Block) bool {
+func (n *Node) importBlock(block *types.Block) error {
 	if _, err := n.chain.InsertBlock(block); err != nil {
 		n.mu.Lock()
 		n.stats.BlocksRejected++
 		n.mu.Unlock()
-		return false
+		return err
 	}
 	n.mu.Lock()
 	n.stats.BlocksImported++
@@ -437,7 +470,134 @@ func (n *Node) importBlock(block *types.Block) bool {
 		n.pool.RemoveStale(st.GetNonce)
 	})
 	n.refreshCommitted()
+	return nil
+}
+
+// noteForkBlock buffers a competing-branch block and attempts longest-
+// chain resolution: assemble the parent-linked run through it, and —
+// when the run attaches to a canonical block and its tip is strictly
+// higher than our head — hand it to chain.ImportFork. A run that
+// doesn't reach down to a canonical attachment triggers a deduplicated
+// back-walk RequestBlocks for the blocks below it.
+func (n *Node) noteForkBlock(from p2p.PeerID, block *types.Block) {
+	num := block.Number()
+	if num == 0 {
+		return
+	}
+	n.mu.Lock()
+	if n.fork == nil {
+		n.fork = make(map[uint64]orphanEntry)
+	}
+	n.fork[num] = orphanEntry{block: block, from: from}
+	// Longest parent-linked run through num currently in the buffer.
+	lo := num
+	for lo > 1 {
+		prev, ok := n.fork[lo-1]
+		if !ok || n.fork[lo].block.Header.ParentHash != prev.block.Hash() {
+			break
+		}
+		lo--
+	}
+	hi := num
+	for {
+		next, ok := n.fork[hi+1]
+		if !ok || next.block.Header.ParentHash != n.fork[hi].block.Hash() {
+			break
+		}
+		hi++
+	}
+	height := n.chain.Height()
+	attach := n.chain.BlockByNumber(lo - 1)
+	linked := attach != nil && n.fork[lo].block.Header.ParentHash == attach.Hash()
+	var blocks []*types.Block
+	request := false
+	var reqAt uint64
+	switch {
+	case linked && hi > height:
+		blocks = make([]*types.Block, 0, hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			blocks = append(blocks, n.fork[i].block)
+		}
+	case !linked && lo >= 2:
+		// The branch point is below our buffered run: walk further back.
+		reqAt = lo - 1
+		request = n.markForkRequestLocked(from, reqAt)
+	}
+	n.mu.Unlock()
+	if request {
+		n.net.RequestBlocks(n.id, from, reqAt)
+	}
+	if blocks == nil {
+		return // branch not attachable or not longer yet; keep buffering
+	}
+	orphaned, err := n.chain.ImportFork(blocks)
+	n.mu.Lock()
+	for i := lo; i <= hi; i++ {
+		delete(n.fork, i)
+	}
+	if err != nil {
+		// Invalid branch (forged or inconsistent blocks): discarding the
+		// candidates prevents re-attempt livelock; honest branches get
+		// re-gossiped with future blocks.
+		n.stats.BlocksRejected++
+		n.mu.Unlock()
+		return
+	}
+	n.stats.BlocksImported += uint64(len(blocks))
+	n.stats.BlocksOrphaned += uint64(orphaned)
+	n.mu.Unlock()
+
+	// Post-reorg pool hygiene, mirroring importBlock for the whole
+	// adopted branch. Transactions exclusive to orphaned blocks are NOT
+	// re-injected; the simulator reports them as orphan loss.
+	var hashes []types.Hash
+	for _, b := range blocks {
+		for _, tx := range b.Txs {
+			hashes = append(hashes, tx.Hash())
+		}
+	}
+	n.pool.Remove(hashes)
+	n.chain.ReadState(func(st *statedb.StateDB) {
+		n.pool.RemoveStale(st.GetNonce)
+	})
+	n.refreshCommitted()
+	n.drainOrphans()
+}
+
+// markForkRequestLocked dedups back-walk requests: one per sender per
+// frontier, mirroring markSyncRequestLocked.
+func (n *Node) markForkRequestLocked(from p2p.PeerID, frontier uint64) bool {
+	if frontier != n.forkFrontier {
+		n.forkFrontier = frontier
+		n.forkAsked = make(map[p2p.PeerID]struct{}, 2)
+	}
+	if _, asked := n.forkAsked[from]; asked {
+		return false
+	}
+	n.forkAsked[from] = struct{}{}
 	return true
+}
+
+// ResetSyncState clears the catch-up request dedup bookkeeping. Called
+// when the peer rejoins the network after churn: suppression state from
+// before the outage must not silence the fresh round of catch-up
+// requests.
+func (n *Node) ResetSyncState() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.syncFrontier, n.syncCover = 0, 0
+	n.syncAsked = nil
+	n.forkFrontier = 0
+	n.forkAsked = nil
+}
+
+// CensorExcluded returns the number of pending transactions this node's
+// censoring miner excluded from block candidates (0 when not censoring).
+func (n *Node) CensorExcluded() uint64 {
+	if n.censor == nil {
+		return 0
+	}
+	return n.censor.Excluded()
 }
 
 // refreshCommitted reloads the tracker's committed AMV from the contract
@@ -468,8 +628,8 @@ func (n *Node) MineAndBroadcast(timestamp uint64) (*types.Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !n.importBlock(block) {
-		return nil, fmt.Errorf("node %d: own block failed validation", n.id)
+	if err := n.importBlock(block); err != nil {
+		return nil, fmt.Errorf("node %d: own block failed validation: %w", n.id, err)
 	}
 	n.net.BroadcastBlock(n.id, block)
 	return block, nil

@@ -1,0 +1,243 @@
+package p2p
+
+import (
+	"testing"
+
+	"sereth/internal/types"
+)
+
+func faultNet(def LinkPolicy) *Network {
+	return NewNetwork(Config{
+		LatencyMs: 10,
+		Seed:      1,
+		Faults:    &FaultConfig{Seed: 99, Default: def},
+	})
+}
+
+func TestFaultLayerZeroPolicyMatchesPlainNetwork(t *testing.T) {
+	run := func(withFaults bool) []TraceEvent {
+		cfg := Config{LatencyMs: 10, Seed: 1}
+		if withFaults {
+			cfg.Faults = &FaultConfig{Seed: 99}
+		}
+		net := NewNetwork(cfg)
+		var trace []TraceEvent
+		net.Trace(func(e TraceEvent) { trace = append(trace, e) })
+		for id := PeerID(1); id <= 3; id++ {
+			net.Join(id, &recorder{})
+		}
+		for i := uint64(0); i < 20; i++ {
+			net.BroadcastTx(PeerID(1+i%3), sampleTx(i))
+			net.AdvanceTo((i + 1) * 7)
+		}
+		net.Drain()
+		return trace
+	}
+	plain, faulty := run(false), run(true)
+	if len(plain) == 0 || len(plain) != len(faulty) {
+		t.Fatalf("trace lengths: plain=%d faulty=%d", len(plain), len(faulty))
+	}
+	for i := range plain {
+		if plain[i] != faulty[i] {
+			t.Fatalf("delivery %d differs with zero-policy fault layer: %+v vs %+v",
+				i, plain[i], faulty[i])
+		}
+	}
+}
+
+func TestLinkDropRate(t *testing.T) {
+	net := faultNet(LinkPolicy{DropRate: 1})
+	a, b := &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(1))
+	net.Drain()
+	if len(b.txs) != 0 {
+		t.Error("delivery survived DropRate 1")
+	}
+	if s := net.FaultStats(); s.LinkDropped != 1 {
+		t.Errorf("LinkDropped = %d, want 1", s.LinkDropped)
+	}
+}
+
+func TestLinkDuplicate(t *testing.T) {
+	net := faultNet(LinkPolicy{DuplicateRate: 1})
+	a, b := &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(1))
+	net.Drain()
+	if len(b.txs) != 2 {
+		t.Errorf("deliveries = %d, want 2 under DuplicateRate 1", len(b.txs))
+	}
+	if s := net.FaultStats(); s.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", s.Duplicated)
+	}
+}
+
+func TestLinkReorderDelaysDelivery(t *testing.T) {
+	net := faultNet(LinkPolicy{ReorderRate: 1, ReorderDelayMs: 100})
+	a, b := &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(1))
+	net.AdvanceTo(10) // base latency elapsed, delivery still reordered out
+	if len(b.txs) != 0 {
+		t.Error("reordered delivery arrived at base latency")
+	}
+	net.AdvanceTo(110)
+	if len(b.txs) != 1 {
+		t.Errorf("deliveries after reorder delay = %d, want 1", len(b.txs))
+	}
+	if s := net.FaultStats(); s.Reordered != 1 {
+		t.Errorf("Reordered = %d, want 1", s.Reordered)
+	}
+}
+
+func TestDirectSendsNeverDropOrDuplicate(t *testing.T) {
+	net := faultNet(LinkPolicy{DropRate: 1, DuplicateRate: 1})
+	a, b := &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	blk := &types.Block{Header: &types.Header{Number: 1}}
+	net.SendBlock(1, 2, blk)
+	net.Drain()
+	if len(b.blocks) != 1 {
+		t.Errorf("direct send deliveries = %d, want exactly 1 (no drop, no dup)", len(b.blocks))
+	}
+}
+
+func TestPartitionBlocksGossipAndHeals(t *testing.T) {
+	net := faultNet(LinkPolicy{})
+	rec := make([]*recorder, 5)
+	for i := range rec {
+		rec[i] = &recorder{}
+		net.Join(PeerID(i+1), rec[i])
+	}
+	net.SetPartition([][]PeerID{{1, 2}, {3, 4, 5}})
+
+	net.BroadcastTx(1, sampleTx(1))
+	net.Drain()
+	if len(rec[1].txs) != 1 {
+		t.Error("same-group delivery blocked")
+	}
+	for i := 2; i < 5; i++ {
+		if len(rec[i].txs) != 0 {
+			t.Errorf("peer %d received across the cut", i+1)
+		}
+	}
+	if s := net.FaultStats(); s.PartitionBlocked != 3 {
+		t.Errorf("PartitionBlocked = %d, want 3", s.PartitionBlocked)
+	}
+
+	// Direct sends are blocked across the cut too.
+	net.SendBlock(1, 3, &types.Block{Header: &types.Header{Number: 1}})
+	net.Drain()
+	if len(rec[2].blocks) != 0 {
+		t.Error("direct send crossed the partition")
+	}
+
+	net.ClearPartition()
+	net.BroadcastTx(1, sampleTx(2))
+	net.Drain()
+	for i := 1; i < 5; i++ {
+		if got := len(rec[i].txs); got == 0 {
+			t.Errorf("peer %d received nothing after heal", i+1)
+		}
+	}
+}
+
+func TestLeaveStopsDeliveriesAndRejoinResumes(t *testing.T) {
+	net := faultNet(LinkPolicy{})
+	a, b, c := &recorder{}, &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.Join(3, c)
+
+	net.Leave(2)
+	net.BroadcastTx(1, sampleTx(1))
+	net.Drain()
+	if len(b.txs) != 0 {
+		t.Error("left peer received a delivery")
+	}
+	if len(c.txs) != 1 {
+		t.Error("remaining peer missed the delivery")
+	}
+
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(2))
+	net.Drain()
+	if len(b.txs) != 1 {
+		t.Errorf("rejoined peer deliveries = %d, want 1", len(b.txs))
+	}
+}
+
+func TestLeaveDiscardsInFlight(t *testing.T) {
+	net := faultNet(LinkPolicy{})
+	a, b := &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.BroadcastTx(1, sampleTx(1)) // on the wire, delivers at t=10
+	net.Leave(2)                    // crash before arrival
+	net.Drain()
+	if len(b.txs) != 0 {
+		t.Error("in-flight delivery reached a crashed peer")
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	run := func() []TraceEvent {
+		net := faultNet(LinkPolicy{
+			DropRate: 0.3, JitterMs: 50, DuplicateRate: 0.2,
+			ReorderRate: 0.2, ReorderDelayMs: 40,
+		})
+		var trace []TraceEvent
+		net.Trace(func(e TraceEvent) { trace = append(trace, e) })
+		for id := PeerID(1); id <= 4; id++ {
+			net.Join(id, &recorder{})
+		}
+		for i := uint64(0); i < 50; i++ {
+			net.BroadcastTx(PeerID(1+i%4), sampleTx(i))
+			net.AdvanceTo((i + 1) * 13)
+		}
+		net.Drain()
+		return trace
+	}
+	ta, tb := run(), run()
+	if len(ta) == 0 || len(ta) != len(tb) {
+		t.Fatalf("trace lengths %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("delivery %d differs: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestPolicyForOverridesPerLink(t *testing.T) {
+	net := NewNetwork(Config{
+		LatencyMs: 10,
+		Seed:      1,
+		Faults: &FaultConfig{
+			Seed: 99,
+			PolicyFor: func(from, to PeerID) LinkPolicy {
+				if to == 3 {
+					return LinkPolicy{DropRate: 1}
+				}
+				return LinkPolicy{}
+			},
+		},
+	})
+	a, b, c := &recorder{}, &recorder{}, &recorder{}
+	net.Join(1, a)
+	net.Join(2, b)
+	net.Join(3, c)
+	net.BroadcastTx(1, sampleTx(1))
+	net.Drain()
+	if len(b.txs) != 1 {
+		t.Error("healthy link lost its delivery")
+	}
+	if len(c.txs) != 0 {
+		t.Error("lossy link delivered despite DropRate 1")
+	}
+}

@@ -56,6 +56,11 @@ type Config struct {
 	// original hub network. Multihop topologies relay gossip hop-by-hop
 	// with per-peer duplicate suppression.
 	Topology Topology
+	// Faults, when non-nil, enables the fault-injection layer (per-link
+	// policies, partitions, churn). Nil keeps the fast path: shared
+	// envelopes, no per-link randomness, bit-identical to pre-fault
+	// builds.
+	Faults *FaultConfig
 }
 
 // MsgKind discriminates network message types (visible in traces).
@@ -98,6 +103,7 @@ type envelope struct {
 	block     *types.Block
 	number    uint64
 	relay     bool       // multihop gossip: recipients re-forward on delivery
+	direct    bool       // point-to-point send: reliable, never dropped/duplicated
 	id        types.Hash // payload identity for duplicate suppression (relay only)
 }
 
@@ -163,6 +169,11 @@ type Network struct {
 	dropped uint64
 	sent    uint64
 	tracer  func(TraceEvent)
+
+	// Fault-injection state (nil / zero unless cfg.Faults is set).
+	faultRng  *rand.Rand     // dedicated stream; never aliases rng
+	partition map[PeerID]int // peer -> group; nil when healed
+	fstats    FaultStats
 }
 
 // NewNetwork returns an empty network at model time zero.
@@ -175,6 +186,9 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.Topology != nil && cfg.Topology.Multihop() {
 		n.topo = cfg.Topology
 		n.seen = make(map[seenKey]struct{})
+	}
+	if cfg.Faults != nil {
+		n.faultRng = rand.New(rand.NewSource(cfg.Faults.Seed))
 	}
 	return n
 }
@@ -297,19 +311,29 @@ func (n *Network) BroadcastBlock(from PeerID, block *types.Block) {
 
 // SendBlock delivers a block to one specific peer (sync responses).
 // Direct sends are never dropped: they model a retried reliable fetch.
+// They are still subject to link latency/jitter and blocked across an
+// active partition.
 func (n *Network) SendBlock(from, to PeerID, block *types.Block) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.partitionedLocked(from, to) {
+		n.fstats.PartitionBlocked++
+		return
+	}
 	n.sent++
-	n.scheduleLocked(&envelope{kind: MsgBlock, from: from, to: []PeerID{to}, block: block})
+	n.scheduleLocked(&envelope{kind: MsgBlock, from: from, to: []PeerID{to}, block: block, direct: true})
 }
 
 // RequestBlocks asks one peer for its blocks from fromNumber onward.
 func (n *Network) RequestBlocks(from, to PeerID, fromNumber uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.partitionedLocked(from, to) {
+		n.fstats.PartitionBlocked++
+		return
+	}
 	n.sent++
-	n.scheduleLocked(&envelope{kind: MsgBlockRequest, from: from, to: []PeerID{to}, number: fromNumber})
+	n.scheduleLocked(&envelope{kind: MsgBlockRequest, from: from, to: []PeerID{to}, number: fromNumber, direct: true})
 }
 
 // gossip enqueues one shared envelope for the sender's neighbor set
@@ -342,6 +366,12 @@ func (n *Network) recipientsLocked(from PeerID, candidates []PeerID, kind MsgKin
 		if r == from {
 			continue
 		}
+		// Partition check first: a severed link is not a delivery attempt
+		// and consumes no randomness (base or fault stream).
+		if n.partition != nil && n.partitionedLocked(from, r) {
+			n.fstats.PartitionBlocked++
+			continue
+		}
 		if seenID != nil {
 			if _, ok := n.seen[seenKey{peer: r, kind: kind, id: *seenID}]; ok {
 				continue
@@ -370,7 +400,17 @@ func (n *Network) neighborsLocked(of PeerID) []PeerID {
 }
 
 func (n *Network) scheduleLocked(env *envelope) {
-	env.deliverAt = n.now + n.cfg.LatencyMs
+	if n.cfg.Faults != nil {
+		n.scheduleFaultyLocked(env)
+		return
+	}
+	n.enqueueLocked(env, n.cfg.LatencyMs)
+}
+
+// enqueueLocked places an envelope on the time-wheel for delivery after
+// the given delay.
+func (n *Network) enqueueLocked(env *envelope, delay uint64) {
+	env.deliverAt = n.now + delay
 	env.seq = n.seq
 	n.seq++
 	if n.pending == 0 || env.deliverAt < n.nextDue {
@@ -458,26 +498,28 @@ func (n *Network) Drain() {
 // multihop gossip, forwards the shared payload one hop further.
 func (n *Network) deliver(env *envelope, hs []Handler, tracer func(TraceEvent)) {
 	for i, to := range env.to {
+		h := hs[i]
+		if h == nil {
+			continue // recipient left (churn) after the send was scheduled
+		}
 		if tracer != nil {
 			tracer(TraceEvent{At: env.deliverAt, Seq: env.seq, Kind: env.kind, From: env.from, To: to})
 		}
-		if h := hs[i]; h != nil {
-			switch env.kind {
-			case MsgTx:
-				h.HandleTx(env.from, env.tx)
-			case MsgTxBatch:
-				if bh, ok := h.(TxBatchHandler); ok {
-					bh.HandleTxs(env.from, env.txs)
-				} else {
-					for _, tx := range env.txs {
-						h.HandleTx(env.from, tx)
-					}
+		switch env.kind {
+		case MsgTx:
+			h.HandleTx(env.from, env.tx)
+		case MsgTxBatch:
+			if bh, ok := h.(TxBatchHandler); ok {
+				bh.HandleTxs(env.from, env.txs)
+			} else {
+				for _, tx := range env.txs {
+					h.HandleTx(env.from, tx)
 				}
-			case MsgBlock:
-				h.HandleBlock(env.from, env.block)
-			case MsgBlockRequest:
-				h.HandleBlockRequest(env.from, env.number)
 			}
+		case MsgBlock:
+			h.HandleBlock(env.from, env.block)
+		case MsgBlockRequest:
+			h.HandleBlockRequest(env.from, env.number)
 		}
 		if env.relay {
 			n.relayFrom(to, env)

@@ -1,0 +1,22 @@
+package scenarios
+
+import "testing"
+
+func TestFrontrunningDemoDefends(t *testing.T) {
+	demo, err := RunFrontrunningDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !demo.AliceSucceeded || !demo.BobSucceeded {
+		t.Errorf("legitimate buys failed: alice=%v bob=%v", demo.AliceSucceeded, demo.BobSucceeded)
+	}
+	if !demo.MarksDiffer() {
+		t.Error("the two price-5 intervals share a mark")
+	}
+	if !demo.ReplayRejected {
+		t.Error("stale-interval replay was accepted")
+	}
+	if !demo.Defended() {
+		t.Errorf("lost-update defense failed: %+v", demo)
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+
+	"sereth/internal/asm"
+	"sereth/internal/p2p"
+	"sereth/internal/types"
+	"sereth/internal/wallet"
+)
+
+// adversary is a scenario actor that joins the network as a regular peer
+// (so it sees honest gossip) and mounts its attack when the timeline
+// fires an evAttack event. Adversaries are fully deterministic: their
+// choices derive from what they observed and how many attacks they have
+// mounted, never from a clock or an un-namespaced RNG.
+type adversary interface {
+	p2p.Handler
+	attack(at uint64)
+	stats() attackStats
+}
+
+// attackStats counts what the adversary emitted; what the honest
+// population did with it is measured in collect() via the shared hash
+// sets.
+type attackStats struct {
+	TxsSent    int
+	BlocksSent int
+}
+
+// forger is the mark-collision / replay / forged-block attacker. It
+// holds an UNREGISTERED key, so every avenue must fail:
+//
+//   - tampered replays (captured tx, price bumped after signing) die at
+//     pool admission on the signature check;
+//   - mark-collision buys (reusing a victim's observed FPV under the
+//     forger's own signature) die at admission on the unknown signer;
+//   - forged blocks (captured valid txs under a fabricated state root on
+//     the observed head) die at import verification on every peer.
+//
+// The chaos_forger scenario asserts AttackTxsIncluded == 0 and
+// ForgedBlocksAccepted == 0: admission and import are the two gates the
+// paper's integrity argument leans on.
+type forger struct {
+	net      *p2p.Network
+	id       p2p.PeerID
+	key      *wallet.Key // NOT in the registry
+	contract types.Address
+
+	captured []*types.Transaction // honest contract txs seen on the wire
+	head     *types.Block         // highest block seen on the wire
+	step     int
+	nonce    uint64
+
+	st attackStats
+	// attackTxs / forgedBlocks are shared with the scenario's collect()
+	// pass, which scans the canonical chain for them.
+	attackTxs    map[types.Hash]bool
+	forgedBlocks map[types.Hash]bool
+}
+
+func newForger(net *p2p.Network, id p2p.PeerID, seed int64, contract types.Address,
+	attackTxs map[types.Hash]bool, forgedBlocks map[types.Hash]bool) *forger {
+	return &forger{
+		net: net, id: id,
+		key:      wallet.NewKey(fmt.Sprintf("forger-%d", seed)),
+		contract: contract,
+		attackTxs: attackTxs, forgedBlocks: forgedBlocks,
+	}
+}
+
+func (f *forger) HandleTx(from p2p.PeerID, tx *types.Transaction) {
+	if tx.To == f.contract && len(f.captured) < 512 {
+		f.captured = append(f.captured, tx)
+	}
+}
+
+func (f *forger) HandleBlock(from p2p.PeerID, block *types.Block) {
+	if f.head == nil || block.Number() > f.head.Number() {
+		f.head = block
+	}
+}
+
+func (f *forger) HandleBlockRequest(from p2p.PeerID, fromNumber uint64) {}
+
+func (f *forger) stats() attackStats { return f.st }
+
+// attack cycles through the three forgery avenues.
+func (f *forger) attack(at uint64) {
+	defer func() { f.step++ }()
+	switch f.step % 3 {
+	case 0: // tampered replay: mutate a signed tx after signing
+		if len(f.captured) == 0 {
+			return
+		}
+		victim := f.captured[(f.step/3)%len(f.captured)]
+		tx := victim.Copy()
+		tx.GasPrice += 7 // the signature no longer covers the content
+		tx.Memoize()
+		f.attackTxs[tx.Hash()] = true
+		f.st.TxsSent++
+		f.net.BroadcastTx(f.id, tx)
+	case 1: // mark-collision buy from an unknown signer
+		if len(f.captured) == 0 {
+			return
+		}
+		victim := f.captured[(f.step/3)%len(f.captured)]
+		fpv, err := victim.FPV()
+		if err != nil {
+			return
+		}
+		tx := f.key.SignTx(&types.Transaction{
+			Nonce:    f.nonce,
+			To:       f.contract,
+			GasPrice: 100, // outbid everyone: only the signer gate stops it
+			GasLimit: 300_000,
+			Data:     types.EncodeCall(asm.SelBuy, types.FlagChain, fpv.PrevMark, fpv.Value),
+		})
+		f.nonce++
+		tx.Memoize()
+		f.attackTxs[tx.Hash()] = true
+		f.st.TxsSent++
+		f.net.BroadcastTx(f.id, tx)
+	case 2: // forged block: captured valid txs under fabricated roots
+		if f.head == nil || len(f.captured) == 0 {
+			return
+		}
+		body := []*types.Transaction{f.captured[(f.step/3)%len(f.captured)]}
+		header := &types.Header{
+			ParentHash: f.head.Hash(),
+			Number:     f.head.Number() + 1,
+			StateRoot:  f.head.Header.StateRoot, // stale: replay cannot land here
+			Coinbase:   f.key.Address(),
+			GasLimit:   f.head.Header.GasLimit,
+			Time:       at / 1000,
+		}
+		blk := &types.Block{Header: header, Txs: body}
+		header.TxRoot = blk.TxRoot()
+		f.forgedBlocks[blk.Hash()] = true
+		f.st.BlocksSent++
+		f.net.BroadcastBlock(f.id, blk)
+	}
+}
+
+// frontrunner is the examples/frontrunning lost-update attack promoted
+// to a live scenario actor. It holds a REGISTERED key, watches the wire
+// for sets (tracking the freshest mark it has seen) and buy offers, and
+// replays captured offers whose mark has since gone stale — verbatim
+// calldata, its own nonce and signature, triple the victim's gas price.
+// Every replay is perfectly valid at admission; the RAA binding is what
+// must defuse it at execution (the replayed FPV no longer matches the
+// committed mark chain, so the buy is included but fails). Replays that
+// race ahead of the pending set they front-run can still succeed — that
+// is the residual (and legitimate-at-the-contract) price-change
+// front-run the point reports as AttackTxsSucceeded.
+type frontrunner struct {
+	net      *p2p.Network
+	id       p2p.PeerID
+	key      *wallet.Key // registered: its txs pass every signature gate
+	contract types.Address
+
+	mark     types.Word // freshest mark observed in set gossip
+	haveMark bool
+	captured []capturedOffer
+	nonce    uint64
+
+	st        attackStats
+	attackTxs map[types.Hash]bool
+}
+
+type capturedOffer struct {
+	data     []byte
+	gasPrice uint64
+	mark     types.Word // the offer's FPV.PrevMark
+	replayed bool
+}
+
+func newFrontrunner(net *p2p.Network, id p2p.PeerID, key *wallet.Key,
+	contract types.Address, attackTxs map[types.Hash]bool) *frontrunner {
+	return &frontrunner{
+		net: net, id: id, key: key, contract: contract, attackTxs: attackTxs,
+	}
+}
+
+func (f *frontrunner) HandleTx(from p2p.PeerID, tx *types.Transaction) {
+	if tx.To != f.contract {
+		return
+	}
+	sel, ok := tx.Selector()
+	if !ok {
+		return
+	}
+	switch sel {
+	case asm.SelSet:
+		if m, ok := tx.Mark(); ok {
+			f.mark, f.haveMark = m, true
+		}
+	case asm.SelBuy:
+		if tx.From == f.key.Address() {
+			return // own replay echoed back by a relay
+		}
+		fpv, err := tx.FPV()
+		if err != nil || len(f.captured) >= 512 {
+			return
+		}
+		f.captured = append(f.captured, capturedOffer{
+			data:     tx.Data,
+			gasPrice: tx.GasPrice,
+			mark:     fpv.PrevMark,
+		})
+	}
+}
+
+func (f *frontrunner) HandleBlock(from p2p.PeerID, block *types.Block)      {}
+func (f *frontrunner) HandleBlockRequest(from p2p.PeerID, fromNumber uint64) {}
+
+func (f *frontrunner) stats() attackStats { return f.st }
+
+// attack replays the oldest un-replayed stale offer (one per event: a
+// patient attacker is harder to filter than a flood).
+func (f *frontrunner) attack(at uint64) {
+	if !f.haveMark {
+		return
+	}
+	for i := range f.captured {
+		offer := &f.captured[i]
+		if offer.replayed || offer.mark == f.mark {
+			continue
+		}
+		offer.replayed = true
+		tx := f.key.SignTx(&types.Transaction{
+			Nonce:    f.nonce,
+			To:       f.contract,
+			GasPrice: offer.gasPrice*3 + 1,
+			GasLimit: 300_000,
+			Data:     offer.data, // verbatim: the stale FPV is the attack
+		})
+		f.nonce++
+		tx.Memoize()
+		f.attackTxs[tx.Hash()] = true
+		f.st.TxsSent++
+		f.net.BroadcastTx(f.id, tx)
+		return
+	}
+}

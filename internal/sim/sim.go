@@ -99,6 +99,11 @@ type ScenarioConfig struct {
 	// DrainBlocks bounds the extra block intervals mined after the last
 	// submission so the backlog clears.
 	DrainBlocks int
+
+	// Faults configures the fault-injection and adversary layer (chaos
+	// family). The zero value disables it entirely and keeps the run
+	// bit-identical to the pre-fault harness.
+	Faults FaultPlan
 }
 
 // Defaults returns the shared experiment parameterization (the private
@@ -208,6 +213,42 @@ type Result struct {
 	// MsgsSent / MsgsDropped are network delivery attempts and losses.
 	MsgsSent    uint64
 	MsgsDropped uint64
+
+	// Robustness metrics (all zero outside the chaos family).
+
+	// BlocksMined counts every block produced anywhere; the excess over
+	// Blocks (the primary client's canonical height) is BlocksOrphaned —
+	// mined but not canonical, the cost of partitions and gossip loss.
+	BlocksMined    int
+	BlocksOrphaned int
+	// Rejoins counts churn rejoin events; ResyncMs holds, per rejoin,
+	// the model time from rejoin until the peer caught back up to the
+	// online population's height at rejoin. ResyncIncomplete counts
+	// rejoined peers that never caught up.
+	Rejoins          int
+	ResyncMs         []float64
+	ResyncIncomplete int
+	// Converged reports whether every online peer ended on the primary
+	// client's exact head (hash, not just height).
+	Converged bool
+	// TxsCensored counts censoring-miner exclusion events (one per
+	// targeted pending tx per block build); CensoredSubmitted/Included
+	// track the targeted senders' buys end to end.
+	TxsCensored       uint64
+	CensoredSubmitted int
+	CensoredIncluded  int
+	// Attack accounting: what the adversary emitted, what the honest
+	// chain absorbed. ForgedBlocksAccepted must stay 0.
+	AttackTxsSent        int
+	AttackTxsIncluded    int
+	AttackTxsSucceeded   int
+	ForgedBlocksSent     int
+	ForgedBlocksAccepted int
+	// Fault-layer intervention counters (p2p.FaultStats).
+	PartitionBlocked uint64
+	LinkDropped      uint64
+	LinkDuplicated   uint64
+	LinkReordered    uint64
 }
 
 // Efficiency returns η over the buys, the Figure-2 y-axis.
@@ -259,6 +300,13 @@ const (
 	evBuy
 	evBurst // a batch of BurstSize consecutive buys starting at idx
 	evBlock
+	// Fault-schedule events (chaos family). idx is the node index for
+	// churn events and unused otherwise.
+	evLeave
+	evJoin
+	evPartition
+	evHeal
+	evAttack
 )
 
 type event struct {
@@ -291,6 +339,32 @@ type scenario struct {
 	setsDropped int
 	buyHashes   map[types.Hash]bool
 	setHashes   map[types.Hash]bool
+
+	// Fault-injection state (nil/zero outside the chaos family).
+	adv         adversary
+	advID       p2p.PeerID
+	offline     map[p2p.PeerID]bool // churned-out peers
+	rejoins     int
+	resyncs     []resyncWatch // rejoined peers still catching up
+	resyncDone  []float64     // completed resync latencies (ms)
+	blocksMined int
+	// Censoring-miner accounting: the targeted sender set and the
+	// hashes of their submitted buys.
+	censorAddrs       map[types.Address]bool
+	censoredHashes    map[types.Hash]bool
+	censoredSubmitted int
+	// Adversary emissions, shared with the actor; collect() scans the
+	// canonical chain for them.
+	attackTxs    map[types.Hash]bool
+	forgedBlocks map[types.Hash]bool
+}
+
+// resyncWatch tracks one rejoined peer until it reaches the height the
+// online population held when it rejoined.
+type resyncWatch struct {
+	idx    int
+	joinAt uint64
+	target uint64
 }
 
 // population resolves the configured peer counts, defaulting to the
@@ -345,6 +419,38 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 	}
 	s.buyerNonce = make([]uint64, len(s.buyers))
 
+	// Fault-layer setup that must precede node creation: the censoring
+	// miners need their target list at construction time, and the
+	// front-runner's key must be registered before the registry is
+	// shared out.
+	fp := cfg.Faults
+	var censorTargets []types.Address
+	censorLeft := 0
+	if fp.Adversary == AdversaryCensor {
+		k := fp.CensorTargets
+		if k <= 0 {
+			k = (len(s.buyers) + 3) / 4
+		}
+		if k > len(s.buyers) {
+			k = len(s.buyers)
+		}
+		s.censorAddrs = make(map[types.Address]bool, k)
+		s.censoredHashes = make(map[types.Hash]bool)
+		for i := 0; i < k; i++ {
+			censorTargets = append(censorTargets, s.buyers[i].Address())
+			s.censorAddrs[s.buyers[i].Address()] = true
+		}
+		censorLeft = fp.CensorMiners
+		if censorLeft <= 0 {
+			censorLeft = nSemantic + nBaseline
+		}
+	}
+	var frontKey *wallet.Key
+	if fp.Adversary == AdversaryFrontrun {
+		frontKey = wallet.NewKey(fmt.Sprintf("frontrunner-%d", cfg.Seed))
+		reg.Register(frontKey)
+	}
+
 	genesis := statedb.New()
 	genesis.SetCode(s.contract, asm.SerethContract())
 	// One shared validated-execution cache for the whole population: the
@@ -361,22 +467,36 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.net = p2p.NewNetwork(p2p.Config{
+	netCfg := p2p.Config{
 		LatencyMs: cfg.GossipLatencyMs,
 		DropRate:  cfg.DropRate,
 		Seed:      cfg.Seed + 1,
 		Topology:  topo,
-	})
+	}
+	if fp.Enabled() {
+		// All link-fault randomness comes from a namespaced sub-seed, so
+		// enabling the layer never perturbs the base delivery stream.
+		netCfg.Faults = &p2p.FaultConfig{
+			Seed:    subSeed(cfg.Seed, "p2p-faults"),
+			Default: fp.linkPolicy(),
+		}
+	}
+	s.net = p2p.NewNetwork(netCfg)
 
 	mk := func(id p2p.PeerID, mode node.Mode, minerKind node.MinerKind) (*node.Node, error) {
-		return node.New(node.Config{
+		nodeCfg := node.Config{
 			ID: id, Mode: mode, Miner: minerKind,
 			Contract: s.contract, Chain: chainCfg, Genesis: genesis,
 			Network: s.net, Seed: cfg.Seed + int64(id)*7,
 			ExtendHeads: cfg.ExtendHeads, ReorderWindow: cfg.ReorderWindow,
 			PoolCapacity: cfg.PoolCapacity, EvictOnFull: cfg.EvictOnFull,
 			Lazy: cfg.LazyClients && minerKind == node.MinerNone,
-		})
+		}
+		if minerKind != node.MinerNone && censorLeft > 0 {
+			nodeCfg.CensorTargets = censorTargets
+			censorLeft--
+		}
+		return node.New(nodeCfg)
 	}
 	// Peer ids are assigned semantic miners first, then baseline miners,
 	// then clients — the paper rig keeps its historical 1/2/3 layout.
@@ -406,7 +526,103 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 		id++
 	}
 	s.nodes = append(append(append(s.nodes, s.semantic...), s.baseline...), s.clients...)
+
+	if fp.Enabled() {
+		s.offline = make(map[p2p.PeerID]bool)
+		switch fp.Adversary {
+		case AdversaryForger:
+			s.attackTxs = make(map[types.Hash]bool)
+			s.forgedBlocks = make(map[types.Hash]bool)
+			s.advID = id
+			fg := newForger(s.net, id, cfg.Seed, s.contract, s.attackTxs, s.forgedBlocks)
+			s.adv = fg
+			s.net.Join(id, fg)
+		case AdversaryFrontrun:
+			s.attackTxs = make(map[types.Hash]bool)
+			s.advID = id
+			fr := newFrontrunner(s.net, id, frontKey, s.contract, s.attackTxs)
+			s.adv = fr
+			s.net.Join(id, fr)
+		case AdversaryCensor, "":
+		default:
+			return nil, fmt.Errorf("sim: unknown adversary %q", fp.Adversary)
+		}
+	}
 	return s, nil
+}
+
+// churnEligible lists the node indexes churn may take down: everyone
+// except the first miner of each kind (the population must keep mining
+// on both draw paths) and the primary client (the measurement point and
+// set submitter).
+func (s *scenario) churnEligible() []int {
+	keep := map[int]bool{}
+	if len(s.semantic) > 0 {
+		keep[0] = true
+	}
+	if len(s.baseline) > 0 {
+		keep[len(s.semantic)] = true
+	}
+	keep[len(s.semantic)+len(s.baseline)] = true // primary client
+	var out []int
+	for i := range s.nodes {
+		if !keep[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// faultSchedule derives the chaos family's churn / partition / attack
+// events. Churn instants come from a dedicated namespaced sub-RNG, so
+// the fault schedule is reproducible and independent of every other
+// randomness stream.
+func (s *scenario) faultSchedule(buyStart, span uint64) []event {
+	fp := s.cfg.Faults
+	if !fp.Enabled() {
+		return nil
+	}
+	var events []event
+	if fp.ChurnPeers > 0 {
+		churnRng := rand.New(rand.NewSource(subSeed(s.cfg.Seed, "churn")))
+		eligible := s.churnEligible()
+		churnRng.Shuffle(len(eligible), func(i, j int) {
+			eligible[i], eligible[j] = eligible[j], eligible[i]
+		})
+		k := fp.ChurnPeers
+		if k > len(eligible) {
+			k = len(eligible)
+		}
+		down := fp.ChurnDownMs
+		if down == 0 {
+			down = 2 * s.cfg.BlockIntervalMs
+		}
+		for i := 0; i < k; i++ {
+			at := buyStart + uint64(churnRng.Int63n(int64(span)))
+			events = append(events,
+				event{at: at, kind: evLeave, idx: eligible[i]},
+				event{at: at + down, kind: evJoin, idx: eligible[i]})
+		}
+	}
+	if fp.PartitionForMs > 0 {
+		at := fp.PartitionAtMs
+		if at == 0 {
+			at = buyStart + span/4
+		}
+		events = append(events,
+			event{at: at, kind: evPartition},
+			event{at: at + fp.PartitionForMs, kind: evHeal})
+	}
+	if s.adv != nil {
+		interval := fp.AttackIntervalMs
+		if interval == 0 {
+			interval = 2000
+		}
+		for at := buyStart + interval; at <= buyStart+span; at += interval {
+			events = append(events, event{at: at, kind: evAttack})
+		}
+	}
+	return events
 }
 
 // schedule builds the submission timeline. The opening set happens at
@@ -433,6 +649,9 @@ func (s *scenario) schedule() []event {
 		at := buyStart + uint64(float64(k)*float64(span)/float64(s.cfg.Sets))
 		events = append(events, event{at: at, kind: evSet, idx: k})
 	}
+	// Fault events ride the same unified timeline; the stable sort keeps
+	// workload events ahead of same-instant fault events.
+	events = append(events, s.faultSchedule(buyStart, span)...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
 	return events
 }
@@ -519,7 +738,8 @@ func (s *scenario) run() (Result, error) {
 				return Result{}, err
 			}
 			tl.blockMined(s.nextBlockGap())
-			if ev.idx == drainIdx && s.poolsEmpty() {
+			s.checkResyncs(ev.at)
+			if ev.idx == drainIdx && s.drainDone() {
 				tl.stop()
 			}
 			continue
@@ -527,14 +747,55 @@ func (s *scenario) run() (Result, error) {
 		if err := s.dispatch(ev); err != nil {
 			return Result{}, err
 		}
+		s.checkResyncs(ev.at)
 	}
 	s.net.Drain()
+	s.checkResyncs(s.net.Now())
 	return s.collect()
 }
 
 func (s *scenario) poolsEmpty() bool {
 	for _, n := range s.nodes {
 		if n.Pool().Len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drainDone decides whether the backlog-drain phase may stop. Outside
+// the chaos family it is the historical pools-empty check. Under faults
+// it additionally requires every rejoined peer to have caught up and all
+// online peers to share one head — a population whose pools are empty
+// but whose chains still disagree (post-partition) must keep mining so
+// the longest-chain rule can finish converging. DrainBlocks still bounds
+// the phase either way.
+func (s *scenario) drainDone() bool {
+	if !s.poolsEmpty() {
+		return false
+	}
+	if s.cfg.Faults.Enabled() {
+		if len(s.resyncs) > 0 || !s.convergedNow() {
+			return false
+		}
+	}
+	return true
+}
+
+// convergedNow reports whether every online peer is on the primary
+// client's exact head.
+func (s *scenario) convergedNow() bool {
+	c := s.clients[0].Chain()
+	h := c.Height()
+	for _, n := range s.nodes {
+		if s.offline[n.ID()] {
+			continue
+		}
+		nc := n.Chain()
+		if nc.Height() != h {
+			return false
+		}
+		if h > 0 && nc.BlockByNumber(h).Hash() != c.BlockByNumber(h).Hash() {
 			return false
 		}
 	}
@@ -571,12 +832,33 @@ func (s *scenario) mine(at uint64) error {
 	if s.cfg.SemanticFraction > 0 && s.rng.Float64() < s.cfg.SemanticFraction {
 		pool = s.semantic
 	}
+	// Churned-out miners cannot produce. The filter (and the extra state
+	// it implies) only engages while someone is offline, so fault-free
+	// runs keep the historical producer-draw stream bit-identical.
+	if len(s.offline) > 0 {
+		online := make([]*node.Node, 0, len(pool))
+		for _, n := range pool {
+			if !s.offline[n.ID()] {
+				online = append(online, n)
+			}
+		}
+		if len(online) == 0 {
+			return nil // every miner of the drawn kind is down: skip the slot
+		}
+		pool = online
+	}
 	producer := pool[0]
 	if len(pool) > 1 {
 		producer = pool[s.rng.Intn(len(pool))]
 	}
-	_, err := producer.MineAndBroadcast(at / 1000)
-	return err
+	block, err := producer.MineAndBroadcast(at / 1000)
+	if err != nil {
+		return err
+	}
+	if block != nil {
+		s.blocksMined++
+	}
+	return nil
 }
 
 func (s *scenario) dispatch(ev event) error {
@@ -587,9 +869,88 @@ func (s *scenario) dispatch(ev event) error {
 		return s.submitBuy(ev.idx)
 	case evBurst:
 		return s.submitBurst(ev.idx)
+	case evLeave:
+		s.doLeave(ev.idx)
+		return nil
+	case evJoin:
+		s.doJoin(ev.at, ev.idx)
+		return nil
+	case evPartition:
+		s.doPartition()
+		return nil
+	case evHeal:
+		s.net.ClearPartition()
+		return nil
+	case evAttack:
+		s.adv.attack(ev.at)
+		return nil
 	default:
 		return fmt.Errorf("sim: unknown event kind %d", ev.kind)
 	}
+}
+
+// doLeave crashes a peer: it stops receiving deliveries and producing
+// blocks until its evJoin fires.
+func (s *scenario) doLeave(idx int) {
+	n := s.nodes[idx]
+	s.offline[n.ID()] = true
+	s.net.Leave(n.ID())
+}
+
+// doJoin brings a churned peer back. Its sync bookkeeping is reset (the
+// peers it had asked before crashing may be gone or stale) and a resync
+// watch records how long the frontier catch-up takes to reach the
+// height the online population held at the rejoin instant.
+func (s *scenario) doJoin(at uint64, idx int) {
+	n := s.nodes[idx]
+	delete(s.offline, n.ID())
+	n.ResetSyncState()
+	s.net.Join(n.ID(), n)
+	s.rejoins++
+	target := uint64(0)
+	for _, m := range s.nodes {
+		if s.offline[m.ID()] {
+			continue
+		}
+		if h := m.Chain().Height(); h > target {
+			target = h
+		}
+	}
+	if n.Chain().Height() >= target {
+		s.resyncDone = append(s.resyncDone, 0)
+		return
+	}
+	s.resyncs = append(s.resyncs, resyncWatch{idx: idx, joinAt: at, target: target})
+}
+
+// doPartition cuts the population into two mining halves (peers
+// alternate by index, so each side keeps at least one miner of each
+// kind); the adversary, if any, rides with group 0.
+func (s *scenario) doPartition() {
+	var groups [2][]p2p.PeerID
+	for i, n := range s.nodes {
+		groups[i%2] = append(groups[i%2], n.ID())
+	}
+	if s.adv != nil {
+		groups[0] = append(groups[0], s.advID)
+	}
+	s.net.SetPartition([][]p2p.PeerID{groups[0], groups[1]})
+}
+
+// checkResyncs resolves resync watches whose peer has caught up.
+func (s *scenario) checkResyncs(at uint64) {
+	if len(s.resyncs) == 0 {
+		return
+	}
+	remaining := s.resyncs[:0]
+	for _, w := range s.resyncs {
+		if s.nodes[w.idx].Chain().Height() >= w.target {
+			s.resyncDone = append(s.resyncDone, float64(at-w.joinAt))
+			continue
+		}
+		remaining = append(remaining, w)
+	}
+	s.resyncs = remaining
 }
 
 // submitSet issues the owner's next price change through the primary
@@ -637,6 +998,12 @@ func (s *scenario) buildBuy(i int) (clientIdx, buyerIdx int, tx *types.Transacti
 	buyerIdx = i % len(s.buyers)
 	key := s.buyers[buyerIdx]
 	clientIdx = buyerIdx % len(s.clients)
+	if s.offline[s.clients[clientIdx].ID()] {
+		// The buyer's usual client is churned out: fall back to the
+		// primary client (which never churns), as a real buyer would
+		// retry against another endpoint.
+		clientIdx = 0
+	}
 	client := s.clients[clientIdx]
 
 	var flag, mark, value types.Word
@@ -674,6 +1041,10 @@ func (s *scenario) commitBuy(buyerIdx int, tx *types.Transaction) {
 	}
 	s.buysSent++
 	s.buyHashes[tx.Hash()] = true
+	if s.censorAddrs[tx.From] {
+		s.censoredSubmitted++
+		s.censoredHashes[tx.Hash()] = true
+	}
 }
 
 // submitBuy issues one buy through its client.
@@ -746,8 +1117,20 @@ func (s *scenario) collect() (Result, error) {
 	for n := uint64(1); n <= c.Height(); n++ {
 		block := c.BlockByNumber(n)
 		lastTime = block.Header.Time
+		if s.forgedBlocks[block.Hash()] {
+			res.ForgedBlocksAccepted++
+		}
 		for _, receipt := range c.Receipts(block.Hash()) {
 			succeeded := receipt.Status == types.StatusSucceeded
+			if s.censoredHashes[receipt.TxHash] {
+				res.CensoredIncluded++
+			}
+			if s.attackTxs[receipt.TxHash] {
+				res.AttackTxsIncluded++
+				if succeeded {
+					res.AttackTxsSucceeded++
+				}
+			}
 			switch {
 			case s.buyHashes[receipt.TxHash]:
 				res.BuysIncluded++
@@ -763,5 +1146,34 @@ func (s *scenario) collect() (Result, error) {
 		}
 	}
 	res.DurationS = float64(lastTime)
+	s.collectChaos(&res)
 	return res, nil
+}
+
+// collectChaos fills the robustness metrics. It runs for every scenario
+// (convergence is a universal invariant) but the fault counters are
+// only non-zero when the fault layer was active.
+func (s *scenario) collectChaos(res *Result) {
+	res.BlocksMined = s.blocksMined
+	if res.BlocksMined > res.Blocks {
+		res.BlocksOrphaned = res.BlocksMined - res.Blocks
+	}
+	res.Rejoins = s.rejoins
+	res.ResyncMs = s.resyncDone
+	res.ResyncIncomplete = len(s.resyncs)
+	res.CensoredSubmitted = s.censoredSubmitted
+	for _, n := range s.nodes {
+		res.TxsCensored += n.CensorExcluded()
+	}
+	fs := s.net.FaultStats()
+	res.PartitionBlocked = fs.PartitionBlocked
+	res.LinkDropped = fs.LinkDropped
+	res.LinkDuplicated = fs.Duplicated
+	res.LinkReordered = fs.Reordered
+	if s.adv != nil {
+		st := s.adv.stats()
+		res.AttackTxsSent = st.TxsSent
+		res.ForgedBlocksSent = st.BlocksSent
+	}
+	res.Converged = s.convergedNow()
 }
