@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-eta chaos-smoke
+.PHONY: all build test race vet bench bench-eta chaos-smoke parallel-smoke
 
 all: vet build test
 
@@ -31,3 +31,12 @@ bench-eta:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosConcurrent|TestChaosTraceDeterministic|TestPartitionHealConverges|TestChurnRejoinCatchUp' ./internal/sim
 	$(GO) run -race ./cmd/serethsim -experiment chaos -quick -runs 2 -churn -partition
+
+# parallel-smoke runs the parallel-execution differential suite — the
+# SpecView shadow model, the conflict-dense fuzz corpus against the
+# sequential oracle, and the golden-scenario η comparison — under the
+# race detector.
+parallel-smoke:
+	$(GO) test -race -run 'TestSpecView' ./internal/statedb
+	$(GO) test -race -run 'TestParallel|FuzzParallelDifferential' ./internal/chain
+	$(GO) test -race -run 'TestParallelExec' ./internal/scenarios

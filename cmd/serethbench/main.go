@@ -45,6 +45,9 @@ type Record struct {
 	EtaDrop     float64 `json:"eta_drop,omitempty"`
 	ResyncP50Ms float64 `json:"resync_p50_ms,omitempty"`
 	ResyncP90Ms float64 `json:"resync_p90_ms,omitempty"`
+	// exec/parallel-* rows: wall-time ratio of the sequential oracle
+	// replaying the same body (sequential ns/op ÷ this row's ns/op).
+	Speedup float64 `json:"speedup,omitempty"`
 }
 
 // Report is the serialized BENCH file.
@@ -71,6 +74,9 @@ func main() {
 		case r.MsgsPerSec > 0:
 			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op %12.0f msgs/s\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MsgsPerSec)
+		case r.Speedup > 0:
+			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op %8.2fx vs sequential\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Speedup)
 		default:
 			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
@@ -96,6 +102,13 @@ func main() {
 	fullReplay, cachedReplay := blockReplay()
 	add(fullReplay)
 	add(cachedReplay)
+	for _, r := range parallelReplay() {
+		add(r)
+	}
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("note: %d-CPU host — exec/parallel-* rows measure scheduler overhead, not parallel speedup (acceptance bar >= 2.5x at 4 workers needs >= 4 cores)\n",
+			runtime.NumCPU())
+	}
 	add(keccakBench("keccak/sum256-64B", 64))
 	add(keccakBench("keccak/sum256-1KB", 1024))
 	add(txAdmission())
@@ -261,6 +274,41 @@ func blockReplay() (full, cached Record) {
 	}
 	cached = benchRecord("replay/insert-100tx-cached", run(warm))
 	return full, cached
+}
+
+// parallelReplay measures the optimistic parallel processor against the
+// sequential oracle on the conflict-sparse 100/1000-tx KV bodies
+// (distinct senders, distinct slots — the scheduler's best case; results
+// are pinned bit-identical by the differential suite). Speedup on the
+// parallel rows is sequential ns/op over that row's ns/op: it tracks
+// GOMAXPROCS on multi-core hosts and measures pure scheduler overhead
+// on single-core runners.
+func parallelReplay() []Record {
+	var out []Record
+	for _, n := range []int{100, 1000} {
+		fixture := scenarios.NewParallelFixture(n)
+		run := func(workers int) testing.BenchmarkResult {
+			proc := fixture.NewProcessor(workers)
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := proc.Process(fixture.Genesis, fixture.Header, fixture.Txs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		seq := benchRecord(fmt.Sprintf("exec/sequential-%dtx", n), run(0))
+		out = append(out, seq)
+		for _, workers := range []int{2, 4, 8} {
+			rec := benchRecord(fmt.Sprintf("exec/parallel-%dtx-w%d", n, workers), run(workers))
+			if rec.NsPerOp > 0 {
+				rec.Speedup = seq.NsPerOp / rec.NsPerOp
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
 }
 
 // keccakBench measures the one-shot Sum256 sponge on an n-byte input —

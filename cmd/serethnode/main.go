@@ -44,6 +44,8 @@ func run(args []string) error {
 	minerStr := fs.String("miner", "baseline", "miner: none, baseline, semantic")
 	interval := fs.Duration("interval", 15*time.Second, "block interval")
 	keys := fs.Int("keys", 8, "pre-registered demo keys (demo-0..demo-N)")
+	parallel := fs.Bool("parallel", false, "execute block bodies on the optimistic parallel processor")
+	parallelWorkers := fs.Int("parallel-workers", 0, "speculation worker count for -parallel (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +78,8 @@ func run(args []string) error {
 	genesis.SetCode(contract, asm.SerethContract())
 	chainCfg := chain.DefaultConfig()
 	chainCfg.Registry = reg
+	chainCfg.Parallel = *parallel
+	chainCfg.ParallelWorkers = *parallelWorkers
 
 	net := p2p.NewNetwork(p2p.Config{})
 	n, err := node.New(node.Config{

@@ -45,6 +45,8 @@ func run(args []string) error {
 	degree := fs.Int("degree", 0, "neighbor degree for -topology dregular")
 	lazyClients := fs.Bool("lazy-clients", false,
 		"client peers adopt shared validated executions without re-verification (large -peers sweeps)")
+	parallel := fs.Bool("parallel", false,
+		"execute block bodies on the optimistic parallel processor (4 workers, threshold 1); η is bit-identical to sequential execution")
 	churn := fs.Bool("churn", false, "chaos: include the churn variant (flags combine; none selected = every variant)")
 	partition := fs.Bool("partition", false, "chaos: include the partition variant")
 	loss := fs.Bool("loss", false, "chaos: include the lossy-links variant")
@@ -67,6 +69,7 @@ func run(args []string) error {
 		return err
 	}
 	shape.LazyClients = *lazyClients
+	shape.ParallelExec = *parallel
 
 	experiments := map[string]func(sim.Shape, []int64, bool) error{
 		"figure2":       runFigure2,

@@ -1,0 +1,41 @@
+package asm
+
+import (
+	"sereth/internal/evm"
+	"sereth/internal/types"
+)
+
+// Function signature of the KV store contract ABI.
+const SigPut = "put(bytes32,bytes32)"
+
+// SelPut is the put selector, computed like Solidity would.
+var SelPut = types.SelectorFor(SigPut)
+
+// KVStoreContract assembles the runtime bytecode of a minimal key-value
+// store: put(key, value) writes storage[key] = value and returns 1;
+// unknown selectors are a no-op. Unlike the Sereth contract — whose mark
+// chain funnels every successful call through the same five slots — KV
+// transactions on distinct keys are independent, which makes the
+// contract the conflict-sparse workload for the parallel-execution
+// fixtures and benchmarks.
+func KVStoreContract() []byte {
+	p := NewProgram()
+
+	// selector = calldata[0:4] as a uint32: CALLDATALOAD(0) >> 224.
+	p.PushInt(0).Op(evm.CALLDATALOAD).
+		PushInt(224).Op(evm.SHR) // [selector]
+	p.Op(evm.DUP1).PushSelector(SelPut).Op(evm.EQ).
+		PushLabel("put").Op(evm.JUMPI)
+	p.Op(evm.STOP) // unknown selector: no-op
+
+	p.Label("put")
+	// storage[calldata[4:36]] = calldata[36:68]
+	p.PushInt(36).Op(evm.CALLDATALOAD). // [sel, value]
+						PushInt(4).Op(evm.CALLDATALOAD). // [sel, value, key]
+						Op(evm.SSTORE)
+	// return 1
+	p.PushInt(1).PushInt(0).Op(evm.MSTORE).
+		PushInt(32).PushInt(0).Op(evm.RETURN)
+
+	return p.MustAssemble()
+}

@@ -50,6 +50,18 @@ type Config struct {
 	// cache still get the full replay; without an ExecCache the flag has
 	// no effect.
 	LazyValidation bool
+	// Parallel enables optimistic parallel intra-block execution
+	// (ParallelProcessor): bodies of at least ParallelThreshold
+	// transactions speculate on a worker pool and commit in order,
+	// producing byte-identical receipts and roots. Off by default — the
+	// sequential processor remains the reference semantics.
+	Parallel bool
+	// ParallelWorkers sizes the speculation pool; <= 0 means GOMAXPROCS.
+	ParallelWorkers int
+	// ParallelThreshold is the smallest body length executed in
+	// parallel; <= 0 means DefaultParallelThreshold. Smaller bodies fall
+	// back to the sequential path.
+	ParallelThreshold int
 }
 
 // DefaultConfig mirrors the paper's private-net parameterization: blocks
@@ -63,6 +75,11 @@ func DefaultConfig() Config {
 type Chain struct {
 	cfg  Config
 	proc *Processor
+	// par is the optimistic parallel executor; nil unless cfg.Parallel.
+	// Every body execution routes through processBody, which picks the
+	// parallel path when available — both paths produce byte-identical
+	// ExecResults, so consumers never know which ran.
+	par *ParallelProcessor
 
 	mu       sync.RWMutex
 	blocks   []*types.Block
@@ -98,7 +115,33 @@ func New(cfg Config, genesisState *statedb.StateDB) *Chain {
 		state:    state,
 		posts:    map[types.Hash]*statedb.StateDB{genesis.Hash(): state},
 	}
+	if cfg.Parallel {
+		c.par = NewParallelProcessor(cfg)
+		// The parallel processor wraps its own sequential oracle; use it
+		// as the chain's processor so ApplyTransaction and the fallback
+		// path share one instance.
+		c.proc = c.par.Sequential()
+	}
 	return c
+}
+
+// processBody executes a block body through the parallel processor when
+// one is configured, the sequential processor otherwise. The two are
+// differentially pinned to byte-identical results.
+func (c *Chain) processBody(parentState *statedb.StateDB, header *types.Header, txs []*types.Transaction) (*ExecResult, error) {
+	if c.par != nil {
+		return c.par.Process(parentState, header, txs)
+	}
+	return c.proc.Process(parentState, header, txs)
+}
+
+// ParallelStats returns the scheduler counters of the parallel
+// processor; the zero value when parallel execution is disabled.
+func (c *Chain) ParallelStats() ParallelStats {
+	if c.par == nil {
+		return ParallelStats{}
+	}
+	return c.par.Stats()
 }
 
 // Processor returns the chain's block-execution pipeline.
@@ -187,7 +230,7 @@ func (c *Chain) ApplyTransaction(st *statedb.StateDB, header *types.Header, tx *
 // build headers from it; InsertBlock verifies against it; the two never
 // re-derive a root the processor already produced.
 func (c *Chain) Process(parentState *statedb.StateDB, header *types.Header, txs []*types.Transaction) (*ExecResult, error) {
-	return c.proc.Process(parentState, header, txs)
+	return c.processBody(parentState, header, txs)
 }
 
 // ExecuteBlock replays a block body against a parent state copy and
@@ -195,7 +238,7 @@ func (c *Chain) Process(parentState *statedb.StateDB, header *types.Header, txs 
 // Compatibility form of Process for consumers that do not need the
 // memoized roots.
 func (c *Chain) ExecuteBlock(parentState *statedb.StateDB, header *types.Header, txs []*types.Transaction) ([]*types.Receipt, *statedb.StateDB, uint64, error) {
-	res, err := c.proc.Process(parentState, header, txs)
+	res, err := c.processBody(parentState, header, txs)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -278,7 +321,7 @@ func (c *Chain) verifyBlockLocked(parentRoot types.Hash, parentState *statedb.St
 	// header checks below compare against them instead of re-deriving,
 	// and a cache Put shares the very same ExecResult with every later
 	// importer.
-	res, err := c.proc.Process(parentState, block.Header, block.Txs)
+	res, err := c.processBody(parentState, block.Header, block.Txs)
 	if err != nil {
 		return nil, nil, err
 	}

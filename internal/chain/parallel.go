@@ -1,0 +1,204 @@
+// ParallelProcessor: optimistic intra-block parallel execution
+// (Block-STM style) over the flat-journal evidence the sequential
+// pipeline already produces. The body's transactions are executed
+// speculatively on a worker pool, each against a read-recording
+// SpecView of the parent state (internal/statedb); commits then proceed
+// strictly in transaction order — a speculation whose recorded read set
+// still matches the state committed by all lower-indexed transactions
+// is merged without replay, anything else is re-executed serially
+// through the SAME applyTransaction code that defines the sequential
+// semantics. Receipts, gas accounting, the journal-based no-op
+// classification, and the state/receipt roots are therefore
+// bit-identical to Processor.Process, which remains the differential
+// oracle (parallel_test.go pins every scenario and a conflict-dense
+// fuzz corpus to it).
+package chain
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sereth/internal/evm"
+	"sereth/internal/statedb"
+	"sereth/internal/types"
+)
+
+// DefaultParallelThreshold is the smallest body length routed to the
+// parallel path when Config.ParallelThreshold is unset: below it the
+// per-transaction speculation overhead (view overlay, read validation)
+// outweighs the EVM work it overlaps.
+const DefaultParallelThreshold = 32
+
+// ParallelStats counts scheduler outcomes over a processor's lifetime
+// (monotonic; read with Stats).
+type ParallelStats struct {
+	// Speculated counts transactions executed on the worker pool.
+	Speculated uint64
+	// Merged counts speculations whose read set validated and whose
+	// overlay was committed without replay.
+	Merged uint64
+	// Reruns counts conflicting (or erroring) speculations re-executed
+	// serially at commit time.
+	Reruns uint64
+	// Fallbacks counts whole bodies routed to the sequential processor
+	// (below-threshold bodies or a single-worker configuration).
+	Fallbacks uint64
+}
+
+// ParallelProcessor executes block bodies optimistically on a worker
+// pool, falling back to the sequential oracle for small bodies. Like
+// Processor it is stateless between calls and safe for concurrent use
+// by multiple importers.
+type ParallelProcessor struct {
+	seq       *Processor
+	workers   int
+	threshold int
+
+	speculated atomic.Uint64
+	merged     atomic.Uint64
+	reruns     atomic.Uint64
+	fallbacks  atomic.Uint64
+}
+
+// NewParallelProcessor returns a parallel processor for the given chain
+// configuration. ParallelWorkers <= 0 selects GOMAXPROCS;
+// ParallelThreshold <= 0 selects DefaultParallelThreshold.
+func NewParallelProcessor(cfg Config) *ParallelProcessor {
+	workers := cfg.ParallelWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	threshold := cfg.ParallelThreshold
+	if threshold <= 0 {
+		threshold = DefaultParallelThreshold
+	}
+	return &ParallelProcessor{
+		seq:       NewProcessor(cfg),
+		workers:   workers,
+		threshold: threshold,
+	}
+}
+
+// Sequential returns the wrapped sequential processor (the differential
+// oracle).
+func (p *ParallelProcessor) Sequential() *Processor { return p.seq }
+
+// Workers returns the configured speculation worker count.
+func (p *ParallelProcessor) Workers() int { return p.workers }
+
+// Stats returns a snapshot of the scheduler counters.
+func (p *ParallelProcessor) Stats() ParallelStats {
+	return ParallelStats{
+		Speculated: p.speculated.Load(),
+		Merged:     p.merged.Load(),
+		Reruns:     p.reruns.Load(),
+		Fallbacks:  p.fallbacks.Load(),
+	}
+}
+
+// Process replays txs on a copy of parentState exactly like
+// Processor.Process — same receipts, gas, roots, and errors — executing
+// the body on the speculation pool when it is large enough to profit.
+func (p *ParallelProcessor) Process(parentState *statedb.StateDB, header *types.Header, txs []*types.Transaction) (*ExecResult, error) {
+	if len(txs) < p.threshold || p.workers < 2 {
+		p.fallbacks.Add(1)
+		return p.seq.Process(parentState, header, txs)
+	}
+	return p.processParallel(parentState, header, txs)
+}
+
+// processParallel is the optimistic schedule: speculate on the worker
+// pool, then commit in transaction order.
+func (p *ParallelProcessor) processParallel(parentState *statedb.StateDB, header *types.Header, txs []*types.Transaction) (*ExecResult, error) {
+	// Copy (and thereby flush) the parent BEFORE the workers start:
+	// afterwards every base access is a pure map/trie read, safe to share
+	// across the pool, while commits mutate only this private copy.
+	st := parentState.Copy()
+	sched := startSpeculation(p.seq, parentState, header, txs, min(p.workers, len(txs)))
+	// The error paths below must not leak running workers: a speculating
+	// worker still reads the parent state, which the caller is free to
+	// copy (and flush) once Process returns.
+	defer sched.stop()
+
+	slab := make([]types.Receipt, len(txs))
+	receipts := make([]*types.Receipt, 0, len(txs))
+	// The serial lane: conflicting speculations re-execute against the
+	// committed state through the oracle's own applyTransaction.
+	var serial *evm.EVM
+	var gasUsed uint64
+	var merged, reruns uint64
+	for i, tx := range txs {
+		t := sched.wait(i)
+		if gasUsed+tx.GasLimit > p.seq.gasLimit {
+			return nil, ErrGasLimitReached
+		}
+		if t.err == nil && t.view.Validate(st) {
+			// Clean speculation: the read set still holds against
+			// everything committed below this index, so the overlay IS
+			// the serial outcome — merge it without replay.
+			slab[i] = t.receipt
+			t.view.MergeInto(st)
+			merged++
+		} else {
+			// Conflict (or a speculative signature/nonce error that must
+			// be re-judged against live state): run the transaction
+			// serially, journaled, on the committed state.
+			if serial == nil {
+				serial = evm.New(st, evm.BlockContext{Number: header.Number, Time: header.Time})
+			}
+			st.ReserveJournal(statedb.JournalEntriesPerTx)
+			slab[i] = types.Receipt{}
+			if err := p.seq.applyTransaction(serial, st, header, tx, i, &slab[i]); err != nil {
+				return nil, fmt.Errorf("tx %d: %w", i, err)
+			}
+			reruns++
+		}
+		sched.release(i)
+		gasUsed += slab[i].GasUsed
+		receipts = append(receipts, &slab[i])
+	}
+	st.DiscardJournal()
+	p.speculated.Add(uint64(len(txs)))
+	p.merged.Add(merged)
+	p.reruns.Add(reruns)
+	res := &ExecResult{
+		Receipts:  receipts,
+		Post:      st,
+		GasUsed:   gasUsed,
+		StateRoot: st.Root(),
+	}
+	// Receipt hashing is embarrassingly parallel and the memo on each
+	// arena receipt makes the fan-out visible to DeriveReceiptRoot, so
+	// the root derivation below reduces to combining cached hashes.
+	parallelReceiptHash(receipts, p.workers)
+	res.ReceiptRoot = types.DeriveReceiptRoot(receipts)
+	return res, nil
+}
+
+// parallelReceiptHash precomputes the per-receipt hash memos on the
+// worker pool. Hashing is independent per receipt and the memo is
+// written before the receipts are shared, so DeriveReceiptRoot (and any
+// later consumer) reads warm caches.
+func parallelReceiptHash(receipts []*types.Receipt, workers int) {
+	if workers < 2 || len(receipts) < 64 {
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(receipts) {
+					return
+				}
+				receipts[i].Hash()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -22,6 +22,11 @@ type Shape struct {
 	// LazyClients switches the client peers to lazy validation
 	// (serethsim -lazy-clients): required for 1000-peer sweeps.
 	LazyClients bool
+	// ParallelExec routes block execution through the optimistic
+	// parallel processor (serethsim -parallel). η is bit-identical
+	// either way; the flag exists to exercise the parallel path across
+	// every sweep.
+	ParallelExec bool
 }
 
 // Apply returns cfg with the non-zero shape fields overridden.
@@ -43,6 +48,9 @@ func (sh Shape) Apply(cfg ScenarioConfig) ScenarioConfig {
 	}
 	if sh.LazyClients {
 		cfg.LazyClients = true
+	}
+	if sh.ParallelExec {
+		cfg.ParallelExec = true
 	}
 	return cfg
 }

@@ -104,6 +104,14 @@ type ScenarioConfig struct {
 	// family). The zero value disables it entirely and keeps the run
 	// bit-identical to the pre-fault harness.
 	Faults FaultPlan
+
+	// ParallelExec routes every node's block execution through the
+	// optimistic parallel processor (chain.ParallelProcessor) with a
+	// deterministic 4-worker pool and threshold 1, so even small sim
+	// bodies exercise the speculate/validate/merge path. Execution is
+	// bit-identical to the sequential processor by construction (and by
+	// the differential suite), so every measured η is unaffected.
+	ParallelExec bool
 }
 
 // Defaults returns the shared experiment parameterization (the private
@@ -461,6 +469,15 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 		GasLimit:  cfg.BlockGasLimit,
 		Registry:  reg,
 		ExecCache: chain.NewExecCache(0),
+	}
+	if cfg.ParallelExec {
+		chainCfg.Parallel = true
+		// Fixed worker count (not GOMAXPROCS) and threshold 1: sim runs
+		// must exercise the parallel path deterministically regardless of
+		// the host's core count — on a single-core runner GOMAXPROCS
+		// would silently fall back to the sequential path.
+		chainCfg.ParallelWorkers = 4
+		chainCfg.ParallelThreshold = 1
 	}
 
 	topo, err := p2p.ParseTopology(cfg.Topology, cfg.Degree, cfg.Seed+2)

@@ -1,0 +1,261 @@
+package statedb
+
+import (
+	"math/rand"
+	"testing"
+
+	"sereth/internal/types"
+)
+
+// specAddr deterministically derives a small test address space so
+// random operations collide often.
+func specAddr(i int) types.Address {
+	var a types.Address
+	a[0] = 0x5a
+	a[19] = byte(i)
+	return a
+}
+
+// specBase builds a flushed base state with a few populated accounts.
+func specBase(r *rand.Rand) *StateDB {
+	base := New()
+	for i := 0; i < 4; i++ {
+		addr := specAddr(i)
+		base.SetNonce(addr, uint64(r.Intn(5)))
+		base.AddBalance(addr, uint64(r.Intn(500)))
+		if r.Intn(2) == 0 {
+			base.SetCode(addr, []byte{byte(i), 0x60, 0x00})
+		}
+		for k := 0; k < r.Intn(4); k++ {
+			base.SetState(addr, types.WordFromUint64(uint64(k)), types.WordFromUint64(uint64(r.Intn(9))))
+		}
+	}
+	base.DiscardJournal()
+	base.Root() // flush: the view contract requires a flushed base
+	return base
+}
+
+// TestSpecViewShadowsStateDB drives a SpecView and a StateDB copy of the
+// same base through identical random operation sequences — including
+// snapshot/revert cycles — and demands identical reads throughout,
+// identical MutatedSince classification, a clean Validate against the
+// unchanged base, and a MergeInto result whose root equals the shadow's.
+func TestSpecViewShadowsStateDB(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		base := specBase(r)
+		view := NewSpecView(base)
+		shadow := base.Copy()
+
+		type snapPair struct{ v, s int }
+		var snaps []snapPair
+		for op := 0; op < 150; op++ {
+			addr := specAddr(r.Intn(7)) // includes absent accounts
+			key := types.WordFromUint64(uint64(r.Intn(5)))
+			switch r.Intn(12) {
+			case 0:
+				if view.GetNonce(addr) != shadow.GetNonce(addr) {
+					t.Fatalf("seed %d op %d: nonce divergence at %s", seed, op, addr.Hex())
+				}
+			case 1:
+				n := uint64(r.Intn(100))
+				view.SetNonce(addr, n)
+				shadow.SetNonce(addr, n)
+			case 2:
+				if view.GetBalance(addr) != shadow.GetBalance(addr) {
+					t.Fatalf("seed %d op %d: balance divergence at %s", seed, op, addr.Hex())
+				}
+			case 3:
+				amt := uint64(r.Intn(100))
+				view.AddBalance(addr, amt)
+				shadow.AddBalance(addr, amt)
+			case 4:
+				amt := uint64(r.Intn(300))
+				if got, want := view.SubBalance(addr, amt), shadow.SubBalance(addr, amt); got != want {
+					t.Fatalf("seed %d op %d: SubBalance divergence at %s: view %v shadow %v",
+						seed, op, addr.Hex(), got, want)
+				}
+			case 5:
+				v, s := view.GetCode(addr), shadow.GetCode(addr)
+				if string(v) != string(s) {
+					t.Fatalf("seed %d op %d: code divergence at %s", seed, op, addr.Hex())
+				}
+			case 6:
+				code := []byte{byte(r.Intn(256)), byte(r.Intn(256))}
+				view.SetCode(addr, code)
+				shadow.SetCode(addr, code)
+			case 7:
+				if view.GetState(addr, key) != shadow.GetState(addr, key) {
+					t.Fatalf("seed %d op %d: storage divergence at %s", seed, op, addr.Hex())
+				}
+			case 8:
+				val := types.WordFromUint64(uint64(r.Intn(6))) // includes zero (clears)
+				view.SetState(addr, key, val)
+				shadow.SetState(addr, key, val)
+			case 9:
+				if view.Exists(addr) != shadow.Exists(addr) {
+					t.Fatalf("seed %d op %d: existence divergence at %s", seed, op, addr.Hex())
+				}
+			case 10:
+				snaps = append(snaps, snapPair{v: view.Snapshot(), s: shadow.Snapshot()})
+			case 11:
+				if len(snaps) == 0 {
+					continue
+				}
+				p := snaps[len(snaps)-1]
+				snaps = snaps[:len(snaps)-1]
+				if view.MutatedSince(p.v) != shadow.MutatedSince(p.s) {
+					t.Fatalf("seed %d op %d: MutatedSince divergence", seed, op)
+				}
+				if r.Intn(2) == 0 {
+					view.RevertToSnapshot(p.v)
+					shadow.RevertToSnapshot(p.s)
+				}
+			}
+		}
+
+		// The base was never touched, so the full read set must validate
+		// against it.
+		if !view.Validate(base) {
+			t.Fatalf("seed %d: read set failed to validate against the unchanged base", seed)
+		}
+		merged := base.Copy()
+		view.MergeInto(merged)
+		if got, want := merged.Root(), shadow.Root(); got != want {
+			t.Fatalf("seed %d: merge root %s, shadow root %s", seed, got.Hex(), want.Hex())
+		}
+	}
+}
+
+// TestSpecViewValidateDetectsStaleReads pins each read kind's conflict
+// detection: mutate the committed state where the view read and demand
+// Validate fail.
+func TestSpecViewValidateDetectsStaleReads(t *testing.T) {
+	addr := specAddr(1)
+	fresh := func() *StateDB {
+		base := New()
+		base.SetNonce(addr, 3)
+		base.AddBalance(addr, 100)
+		base.SetCode(addr, []byte{0xaa})
+		base.SetState(addr, types.WordFromUint64(1), types.WordFromUint64(7))
+		base.DiscardJournal()
+		base.Root()
+		return base
+	}
+	cases := []struct {
+		name    string
+		observe func(v *SpecView)
+		mutate  func(st *StateDB)
+	}{
+		{"nonce", func(v *SpecView) { v.GetNonce(addr) }, func(st *StateDB) { st.SetNonce(addr, 9) }},
+		{"balance", func(v *SpecView) { v.GetBalance(addr) }, func(st *StateDB) { st.AddBalance(addr, 1) }},
+		{"code", func(v *SpecView) { v.GetCode(addr) }, func(st *StateDB) { st.SetCode(addr, []byte{0xbb}) }},
+		{"storage", func(v *SpecView) { v.GetState(addr, types.WordFromUint64(1)) },
+			func(st *StateDB) { st.SetState(addr, types.WordFromUint64(1), types.WordFromUint64(8)) }},
+		{"existence", func(v *SpecView) { v.Exists(specAddr(5)) },
+			func(st *StateDB) { st.SetNonce(specAddr(5), 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := fresh()
+			view := NewSpecView(base)
+			tc.observe(view)
+			if !view.Validate(base) {
+				t.Fatal("fresh read set did not validate")
+			}
+			committed := base.Copy()
+			tc.mutate(committed)
+			if view.Validate(committed) {
+				t.Error("stale read survived validation")
+			}
+		})
+	}
+}
+
+// TestSpecViewRevertKeepsReads pins the validation contract across
+// reverts: a read that steered execution into a reverted branch still
+// constrains validity.
+func TestSpecViewRevertKeepsReads(t *testing.T) {
+	addr := specAddr(2)
+	base := New()
+	base.AddBalance(addr, 50)
+	base.DiscardJournal()
+	base.Root()
+
+	view := NewSpecView(base)
+	snap := view.Snapshot()
+	view.GetBalance(addr) // observed inside the branch
+	view.AddBalance(addr, 5)
+	view.RevertToSnapshot(snap)
+	if view.GetBalance(addr) != 50 {
+		t.Fatalf("revert did not restore the overlay: %d", view.GetBalance(addr))
+	}
+	committed := base.Copy()
+	committed.AddBalance(addr, 1)
+	if view.Validate(committed) {
+		t.Error("read recorded inside a reverted branch was forgotten")
+	}
+}
+
+// TestSpecViewResetReuse pins the pooling contract: a reset view over a
+// new base carries nothing over.
+func TestSpecViewResetReuse(t *testing.T) {
+	a, b := specAddr(1), specAddr(2)
+	base1 := New()
+	base1.SetNonce(a, 7)
+	base1.DiscardJournal()
+	base1.Root()
+	view := NewSpecView(base1)
+	view.GetNonce(a)
+	view.SetNonce(b, 3)
+
+	base2 := New()
+	base2.Root()
+	view.Reset(base2)
+	if view.Reads() != 0 {
+		t.Fatalf("reset kept %d reads", view.Reads())
+	}
+	if view.GetNonce(b) != 0 {
+		t.Error("reset kept overlay writes")
+	}
+	if view.GetNonce(a) != 0 {
+		t.Error("reset kept the old base")
+	}
+	merged := base2.Copy()
+	view.MergeInto(merged)
+	if merged.Exists(b) {
+		t.Error("reset view merged stale accounts")
+	}
+	// A pooled zero-value view must behave like a constructed one.
+	var zero SpecView
+	zero.Reset(base1)
+	if zero.GetNonce(a) != 7 {
+		t.Error("zero-value view did not read through to the base")
+	}
+}
+
+// TestSpecViewMergeCreatesAccounts pins a root-identity subtlety: an
+// account only CREATED during speculation (e.g. by a failed SubBalance's
+// getOrCreate) must merge as an empty account, exactly like the
+// sequential path leaves it.
+func TestSpecViewMergeCreatesAccounts(t *testing.T) {
+	addr := specAddr(6)
+	base := New()
+	base.Root()
+
+	view := NewSpecView(base)
+	if view.SubBalance(addr, 10) {
+		t.Fatal("debit of an absent account succeeded")
+	}
+	merged := base.Copy()
+	view.MergeInto(merged)
+
+	shadow := base.Copy()
+	if shadow.SubBalance(addr, 10) {
+		t.Fatal("shadow debit succeeded")
+	}
+	shadow.DiscardJournal()
+	if merged.Root() != shadow.Root() {
+		t.Error("created-but-unwritten account merged differently than the sequential path")
+	}
+}

@@ -179,16 +179,17 @@ func DeriveTxRoot(txs []*Transaction) Hash {
 
 // DeriveReceiptRoot computes the ordered commitment over a receipt
 // list: the hash of the RLP list of per-receipt hashes (the same
-// structure as DeriveTxRoot). Receipts encode through the flat append
-// path into one reused scratch buffer — the Item-tree encoder this
-// replaces dominated the full-replay allocation profile — and the
-// output bytes (and therefore the root) are unchanged.
+// structure as DeriveTxRoot). Per-receipt hashes come from the memoized
+// Receipt.Hash — the first derivation over a receipt set pays the
+// per-receipt Keccak exactly once (encoding through the flat append
+// path into escape-free scratch), and every later derivation over the
+// same receipts reduces to combining cached hashes. The output bytes
+// (and therefore the root) are unchanged; the equality test against an
+// uncached derivation pins that.
 func DeriveReceiptRoot(receipts []*Receipt) Hash {
-	var enc []byte
 	payload := make([]byte, 0, 33*len(receipts))
 	for _, r := range receipts {
-		enc = r.AppendRLP(enc[:0])
-		h := keccak.Sum256(enc)
+		h := r.Hash()
 		payload = rlp.AppendString(payload, h[:])
 	}
 	return Hash(keccak.Sum256(rlp.AppendList(nil, payload)))

@@ -275,6 +275,29 @@ type Receipt struct {
 	ReturnValue Word   // first word of the EVM return data, if any
 	BlockNumber uint64 // block that included the transaction
 	TxIndex     int    // position within the block
+
+	// hash memoizes Keccak(EncodeRLP()) once the receipt is final — a
+	// receipt is frozen after its transaction applies, but the memo is
+	// populated lazily (first Hash call), so a receipt must not be
+	// mutated after its first Hash. DeriveReceiptRoot reads the memo, so
+	// re-deriving a root the chain already derived (receipt store reads,
+	// cache verification) stops re-hashing every receipt.
+	hash   Hash
+	hashed bool
+}
+
+// Hash returns Keccak over the receipt's RLP encoding, memoized. Safe
+// for concurrent use only once the memo is warm (the parallel processor
+// prefills it before sharing receipts); a cold first call must not race.
+func (r *Receipt) Hash() Hash {
+	if !r.hashed {
+		// The encoding is at most 2 (header) + 33 + 2 + 9 + 33 + 9 + 9
+		// bytes, so the scratch never escapes to the heap.
+		var scratch [104]byte
+		r.hash = Hash(keccak.Sum256(r.AppendRLP(scratch[:0])))
+		r.hashed = true
+	}
+	return r.hash
 }
 
 // EncodeRLP serializes the receipt for the receipt trie.
