@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-eta chaos-smoke parallel-smoke
+.PHONY: all build test race vet bench bench-eta chaos-smoke parallel-smoke serving-smoke
 
 all: vet build test
 
@@ -40,3 +40,14 @@ parallel-smoke:
 	$(GO) test -race -run 'TestSpecView' ./internal/statedb
 	$(GO) test -race -run 'TestParallel|FuzzParallelDifferential' ./internal/chain
 	$(GO) test -race -run 'TestParallelExec' ./internal/scenarios
+
+# serving-smoke runs the persistence and serving-tier suite under the
+# race detector: the store, trie/state persistence and snapshot
+# round-trips, restart-recovery and snapshot-bootstrap at chain and
+# node level, the RPC dispatch/client surface, and the golden-scenario
+# differentials with the store and the HTTP serving tier enabled.
+serving-smoke:
+	$(GO) test -race ./internal/store ./internal/rpc
+	$(GO) test -race -run 'TestPersist|TestSnapshot|TestOpen|TestGoldenRootsWithStore' ./internal/trie ./internal/statedb ./internal/chain
+	$(GO) test -race -run 'TestNodeRestart|TestSnapshot' ./internal/node
+	$(GO) test -race -run 'TestRPCClients|TestPersist' ./internal/sim ./internal/scenarios

@@ -12,21 +12,31 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"sereth/internal/asm"
 	"sereth/internal/chain"
 	"sereth/internal/keccak"
+	"sereth/internal/metrics"
+	"sereth/internal/node"
 	"sereth/internal/p2p"
+	"sereth/internal/rpc"
 	"sereth/internal/scenarios"
 	"sereth/internal/sim"
+	"sereth/internal/statedb"
+	"sereth/internal/store"
 	"sereth/internal/types"
+	"sereth/internal/wallet"
 )
 
 // Record is one benchmark result row.
@@ -48,6 +58,13 @@ type Record struct {
 	// exec/parallel-* rows: wall-time ratio of the sequential oracle
 	// replaying the same body (sequential ns/op ÷ this row's ns/op).
 	Speedup float64 `json:"speedup,omitempty"`
+	// serving/ rows: sustained request rate and latency percentiles of
+	// the HTTP JSON-RPC tier at the given client concurrency.
+	Clients    int     `json:"clients,omitempty"`
+	ReqsPerSec float64 `json:"reqs_per_sec,omitempty"`
+	LatP50Ms   float64 `json:"lat_p50_ms,omitempty"`
+	LatP90Ms   float64 `json:"lat_p90_ms,omitempty"`
+	LatP99Ms   float64 `json:"lat_p99_ms,omitempty"`
 }
 
 // Report is the serialized BENCH file.
@@ -71,6 +88,9 @@ func main() {
 				r.Name, r.NsPerOp, r.Eta, r.HonestEta, r.EtaDrop)
 		case r.HasEta:
 			fmt.Printf("%-48s %12.0f ns/op   eta=%.2f\n", r.Name, r.NsPerOp, r.Eta)
+		case r.ReqsPerSec > 0:
+			fmt.Printf("%-48s %12.0f ns/op   %8.0f req/s  p50=%.3fms p90=%.3fms p99=%.3fms\n",
+				r.Name, r.NsPerOp, r.ReqsPerSec, r.LatP50Ms, r.LatP90Ms, r.LatP99Ms)
 		case r.MsgsPerSec > 0:
 			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op %12.0f msgs/s\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MsgsPerSec)
@@ -116,6 +136,9 @@ func main() {
 	add(interp100Op())
 	add(journalChurn())
 	for _, r := range chaosRows() {
+		add(r)
+	}
+	for _, r := range servingRows() {
 		add(r)
 	}
 
@@ -386,6 +409,189 @@ func chaosRows() []Record {
 		}
 		out = append(out, rec)
 	}
+	return out
+}
+
+// servingContract is the managed-variable contract address of the
+// serving-tier fixture (the sim's historical address).
+var servingContract = types.Address{19: 0xcc}
+
+// servingBlocks / servingPending size the serving fixture: a chain
+// deep enough that recovery and bootstrap move real state, and a
+// pending series for sereth_view to walk.
+const (
+	servingBlocks  = 12
+	servingPending = 8
+)
+
+// servingNode builds a mining Sereth node with servingBlocks committed
+// set transactions (one per block) and servingPending still in the
+// pool, optionally backed by kv. It returns the node and the chain
+// configuration it runs on (for reopening the same store).
+func servingNode(kv store.Store) (*node.Node, chain.Config, error) {
+	reg := wallet.NewRegistry()
+	owner := wallet.NewKey("serving-owner")
+	reg.Register(owner)
+	genesis := statedb.New()
+	genesis.SetCode(servingContract, asm.SerethContract())
+	chainCfg := chain.DefaultConfig()
+	chainCfg.Registry = reg
+	net := p2p.NewNetwork(p2p.Config{})
+	n, err := node.New(node.Config{
+		ID: 1, Mode: node.ModeSereth, Miner: node.MinerBaseline,
+		Contract: servingContract, Chain: chainCfg, Genesis: genesis,
+		Network: net, Store: kv,
+	})
+	if err != nil {
+		return nil, chainCfg, err
+	}
+	prev := types.ZeroWord
+	nonce := uint64(0)
+	submit := func(i uint64) error {
+		val := types.WordFromUint64(100 + i)
+		if _, err := n.SubmitSet(owner, nonce, servingContract, types.FlagHead, prev, val); err != nil {
+			return err
+		}
+		nonce++
+		prev = val
+		return nil
+	}
+	for i := 0; i < servingBlocks; i++ {
+		if err := submit(uint64(i)); err != nil {
+			return nil, chainCfg, err
+		}
+		net.AdvanceTo(net.Now() + 5)
+		if _, err := n.MineAndBroadcast(net.Now() + 15); err != nil {
+			return nil, chainCfg, err
+		}
+		net.AdvanceTo(net.Now() + 20)
+	}
+	for i := 0; i < servingPending; i++ {
+		if err := submit(uint64(servingBlocks + i)); err != nil {
+			return nil, chainCfg, err
+		}
+	}
+	net.AdvanceTo(net.Now() + 20)
+	return n, chainCfg, nil
+}
+
+// measureServing hammers one JSON-RPC method from `clients` concurrent
+// callers (each with its own connection) and reports sustained req/s
+// plus per-request latency percentiles via metrics.Percentile.
+func measureServing(url, method string, clients int, call func(*rpc.Client) error) Record {
+	const perClient = 150
+	lats := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := rpc.NewClient(url)
+			lats[i] = make([]float64, 0, perClient)
+			for j := 0; j < perClient; j++ {
+				t0 := time.Now()
+				if err := call(c); err != nil {
+					errs[i] = err
+					return
+				}
+				lats[i] = append(lats[i], float64(time.Since(t0).Nanoseconds())/1e6)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	var all []float64
+	for i, ls := range lats {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "serethbench: serving/%s: %v\n", method, errs[i])
+			os.Exit(1)
+		}
+		all = append(all, ls...)
+	}
+	total := clients * perClient
+	return Record{
+		Name:       fmt.Sprintf("serving/%s-c%d", method, clients),
+		NsPerOp:    float64(wall.Nanoseconds()) / float64(total),
+		Clients:    clients,
+		ReqsPerSec: float64(total) / wall.Seconds(),
+		LatP50Ms:   metrics.Percentile(all, 0.50),
+		LatP90Ms:   metrics.Percentile(all, 0.90),
+		LatP99Ms:   metrics.Percentile(all, 0.99),
+	}
+}
+
+// servingRows measures the deployable node surface: the HTTP JSON-RPC
+// read path under 1/8/64 concurrent clients (sereth_view is the
+// READ-UNCOMMITTED product; eth_blockNumber bounds the transport
+// floor), then the restart-recovery and snapshot-bootstrap paths that
+// bring a node back (or a fresh peer up) without replaying history.
+func servingRows() []Record {
+	fatal := func(stage string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serethbench: serving %s: %v\n", stage, err)
+			os.Exit(1)
+		}
+	}
+	var out []Record
+
+	n, _, err := servingNode(nil)
+	fatal("fixture", err)
+	srv := httptest.NewServer(rpc.NewServer(n, servingContract))
+	methods := []struct {
+		name string
+		call func(*rpc.Client) error
+	}{
+		{"sereth_view", func(c *rpc.Client) error { _, err := c.View(); return err }},
+		{"eth_blockNumber", func(c *rpc.Client) error { _, err := c.BlockNumber(); return err }},
+	}
+	for _, m := range methods {
+		for _, clients := range []int{1, 8, 64} {
+			out = append(out, measureServing(srv.URL, m.name, clients, m.call))
+		}
+	}
+	srv.Close()
+
+	// Store-backed twin: its datadir feeds the recovery row, its fully
+	// executed state feeds the snapshot row.
+	dir, err := os.MkdirTemp("", "serethbench-datadir")
+	fatal("datadir", err)
+	defer func() { _ = os.RemoveAll(dir) }()
+	kv, err := store.OpenFile(dir)
+	fatal("store", err)
+	stored, chainCfg, err := servingNode(kv)
+	fatal("store-backed fixture", err)
+	var snap bytes.Buffer
+	fatal("snapshot export", stored.WriteSnapshot(&snap))
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := chain.Open(chainCfg, kv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c.Height() != servingBlocks {
+				b.Fatalf("recovered height %d", c.Height())
+			}
+		}
+	})
+	out = append(out, benchRecord(fmt.Sprintf("serving/restart-recovery-%dblocks", servingBlocks), res))
+
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := chain.OpenSnapshot(chainCfg, bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c.Height() != servingBlocks {
+				b.Fatalf("bootstrapped height %d", c.Height())
+			}
+		}
+	})
+	out = append(out, benchRecord("serving/snapshot-bootstrap", res))
 	return out
 }
 

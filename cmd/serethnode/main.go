@@ -5,6 +5,9 @@
 // Usage:
 //
 //	serethnode -listen :8545 -mode sereth -miner semantic -interval 5s
+//	serethnode -datadir /var/lib/sereth            # durable state, survives restarts
+//	serethnode -snapshot head.snap                 # fast-bootstrap from an exported snapshot
+//	serethnode -datadir d -export-snapshot head.snap  # dump head state on shutdown
 //
 // Query it with any JSON-RPC client, e.g.:
 //
@@ -26,6 +29,7 @@ import (
 	"sereth/internal/p2p"
 	"sereth/internal/rpc"
 	"sereth/internal/statedb"
+	"sereth/internal/store"
 	"sereth/internal/types"
 	"sereth/internal/wallet"
 )
@@ -46,6 +50,9 @@ func run(args []string) error {
 	keys := fs.Int("keys", 8, "pre-registered demo keys (demo-0..demo-N)")
 	parallel := fs.Bool("parallel", false, "execute block bodies on the optimistic parallel processor")
 	parallelWorkers := fs.Int("parallel-workers", 0, "speculation worker count for -parallel (0 = GOMAXPROCS)")
+	datadir := fs.String("datadir", "", "directory for the persistent state store; a restart recovers the head without replay")
+	snapshot := fs.String("snapshot", "", "bootstrap from an exported state snapshot (ignored when -datadir already has a head)")
+	exportSnapshot := fs.String("export-snapshot", "", "write a state snapshot of the head to this path on clean shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,15 +88,33 @@ func run(args []string) error {
 	chainCfg.Parallel = *parallel
 	chainCfg.ParallelWorkers = *parallelWorkers
 
-	net := p2p.NewNetwork(p2p.Config{})
-	n, err := node.New(node.Config{
+	nodeCfg := node.Config{
 		ID: 1, Mode: mode, Miner: minerKind,
-		Contract: contract, Chain: chainCfg, Genesis: genesis, Network: net,
-	})
+		Contract: contract, Chain: chainCfg, Genesis: genesis,
+		Network: p2p.NewNetwork(p2p.Config{}),
+	}
+	if *datadir != "" {
+		kv, err := store.OpenFile(*datadir)
+		if err != nil {
+			return fmt.Errorf("open datadir: %w", err)
+		}
+		defer func() { _ = kv.Close() }()
+		nodeCfg.Store = kv
+	}
+	if *snapshot != "" {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			return fmt.Errorf("open snapshot: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		nodeCfg.Bootstrap = f
+	}
+	n, err := node.New(nodeCfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("node up: mode=%s miner=%s contract=%s\n", mode, *minerStr, contract.Hex())
+	fmt.Printf("node up: mode=%s miner=%s contract=%s boot=%s height=%d\n",
+		mode, *minerStr, contract.Hex(), n.BootSource(), n.Chain().Height())
 
 	server := &http.Server{Addr: *listen, Handler: rpc.NewServer(n, contract)}
 
@@ -138,7 +163,29 @@ func run(args []string) error {
 		defer cancel()
 		_ = server.Shutdown(shutdownCtx)
 		<-minerDone
+		if *exportSnapshot != "" {
+			if err := writeSnapshotFile(n, *exportSnapshot); err != nil {
+				return fmt.Errorf("export snapshot: %w", err)
+			}
+			fmt.Printf("snapshot written to %s\n", *exportSnapshot)
+		}
 		fmt.Println("\nshut down cleanly")
 		return nil
 	}
+}
+
+// writeSnapshotFile dumps the node's head state snapshot to path. Note
+// that a node recovered lazily from a datadir holds only the state it
+// has touched and cannot serve a full snapshot (statedb.ErrPartialState)
+// — export from a node that executed its history.
+func writeSnapshotFile(n *node.Node, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := n.WriteSnapshot(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

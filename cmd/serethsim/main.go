@@ -47,6 +47,10 @@ func run(args []string) error {
 		"client peers adopt shared validated executions without re-verification (large -peers sweeps)")
 	parallel := fs.Bool("parallel", false,
 		"execute block bodies on the optimistic parallel processor (4 workers, threshold 1); η is bit-identical to sequential execution")
+	rpcClients := fs.Bool("rpc-clients", false,
+		"clients reach their peers over real HTTP JSON-RPC (sereth_view / eth_sendRawTransaction); η is bit-identical to in-process clients")
+	persist := fs.Bool("persist", false,
+		"back every node's chain with a write-through store, flushing state and blocks at each adoption; η is bit-identical either way")
 	churn := fs.Bool("churn", false, "chaos: include the churn variant (flags combine; none selected = every variant)")
 	partition := fs.Bool("partition", false, "chaos: include the partition variant")
 	loss := fs.Bool("loss", false, "chaos: include the lossy-links variant")
@@ -70,6 +74,8 @@ func run(args []string) error {
 	}
 	shape.LazyClients = *lazyClients
 	shape.ParallelExec = *parallel
+	shape.RPCClients = *rpcClients
+	shape.Persist = *persist
 
 	experiments := map[string]func(sim.Shape, []int64, bool) error{
 		"figure2":       runFigure2,

@@ -12,6 +12,7 @@ import (
 
 	"sereth/internal/evm"
 	"sereth/internal/statedb"
+	"sereth/internal/store"
 	"sereth/internal/types"
 	"sereth/internal/wallet"
 )
@@ -62,6 +63,13 @@ type Config struct {
 	// parallel; <= 0 means DefaultParallelThreshold. Smaller bodies fall
 	// back to the sequential path.
 	ParallelThreshold int
+	// Store, when set, persists the chain: every adopted block flushes
+	// its dirty state-trie paths, body and head pointer into the store,
+	// and Open recovers head state from it without replaying the chain.
+	// nil keeps the chain fully in-memory (the default; η results are
+	// bit-identical either way — persistence only mirrors what the
+	// in-memory tries already committed to).
+	Store store.Store
 }
 
 // DefaultConfig mirrors the paper's private-net parameterization: blocks
@@ -81,7 +89,12 @@ type Chain struct {
 	// ExecResults, so consumers never know which ran.
 	par *ParallelProcessor
 
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// blocks is the canonical chain as a dense slice: blocks[i] has
+	// number base+i. base is 0 for chains grown from genesis and the
+	// snapshot head's number for snapshot-bootstrapped chains, which
+	// have no history below their snapshot point.
+	base     uint64
 	blocks   []*types.Block
 	byHash   map[types.Hash]*types.Block
 	receipts map[types.Hash][]*types.Receipt // block hash -> receipts
@@ -122,6 +135,15 @@ func New(cfg Config, genesisState *statedb.StateDB) *Chain {
 		// path share one instance.
 		c.proc = c.par.Sequential()
 	}
+	if cfg.Store != nil {
+		// Persist genesis so a datadir created now recovers later even if
+		// no block is ever adopted. Persist errors at construction are
+		// deliberately fatal-by-panic: a node that silently starts without
+		// its datadir would lose every block it adopts.
+		if err := c.persistLocked(genesis, state); err != nil {
+			panic(fmt.Sprintf("chain: persist genesis: %v", err))
+		}
+	}
 	return c
 }
 
@@ -160,14 +182,24 @@ func (c *Chain) Head() *types.Block {
 // Height returns the head block number.
 func (c *Chain) Height() uint64 { return c.Head().Number() }
 
-// BlockByNumber returns the block at the given height, or nil.
+// BlockByNumber returns the block at the given height, or nil. On a
+// snapshot-bootstrapped chain, heights below the snapshot point have no
+// stored block.
 func (c *Chain) BlockByNumber(n uint64) *types.Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if n >= uint64(len(c.blocks)) {
+	if n < c.base || n-c.base >= uint64(len(c.blocks)) {
 		return nil
 	}
-	return c.blocks[n]
+	return c.blocks[n-c.base]
+}
+
+// Base returns the lowest block number the chain holds: 0 for chains
+// grown from genesis, the snapshot head for bootstrapped chains.
+func (c *Chain) Base() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
 }
 
 // BlockByHash returns the block with the given hash, or nil.
@@ -270,7 +302,9 @@ func (c *Chain) InsertBlock(block *types.Block) ([]*types.Receipt, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.adopt(block, receipts, post)
+	if err := c.adopt(block, receipts, post); err != nil {
+		return nil, err
+	}
 	return receipts, nil
 }
 
@@ -358,7 +392,7 @@ func (c *Chain) ImportFork(blocks []*types.Block) (int, error) {
 	i := 0
 	for ; i < len(blocks); i++ {
 		num := blocks[i].Number()
-		if num < uint64(len(c.blocks)) && c.blocks[num].Hash() == blocks[i].Hash() {
+		if num >= c.base && num-c.base < uint64(len(c.blocks)) && c.blocks[num-c.base].Hash() == blocks[i].Hash() {
 			continue
 		}
 		break
@@ -369,13 +403,16 @@ func (c *Chain) ImportFork(blocks []*types.Block) (int, error) {
 	}
 	first := fork[0]
 	attach := first.Number()
-	if attach == 0 {
-		return 0, fmt.Errorf("%w: fork replaces genesis", ErrUnknownParent)
+	if attach <= c.base {
+		// Below base there is no stored parent state to validate against
+		// (genesis for ordinary chains, the snapshot head for
+		// bootstrapped ones).
+		return 0, fmt.Errorf("%w: fork attaches at or below base block %d", ErrUnknownParent, c.base)
 	}
-	if attach >= uint64(len(c.blocks)) {
+	if attach-c.base >= uint64(len(c.blocks)) {
 		return 0, fmt.Errorf("%w: fork attaches above head", ErrUnknownParent)
 	}
-	parent := c.blocks[attach-1]
+	parent := c.blocks[attach-1-c.base]
 	if first.Header.ParentHash != parent.Hash() {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownParent, first.Header.ParentHash.Hex())
 	}
@@ -418,8 +455,8 @@ func (c *Chain) ImportFork(blocks []*types.Block) (int, error) {
 	// blocks stay reachable in byHash/receipts as side-chain data; their
 	// transactions are NOT re-injected into pools (measured as orphan loss
 	// by the simulator, where a production node would re-broadcast them).
-	orphaned := len(c.blocks) - int(attach)
-	c.blocks = c.blocks[:attach]
+	orphaned := len(c.blocks) - int(attach-c.base)
+	c.blocks = c.blocks[:attach-c.base]
 	for j, b := range fork {
 		c.blocks = append(c.blocks, b)
 		c.byHash[b.Hash()] = b
@@ -428,6 +465,21 @@ func (c *Chain) ImportFork(blocks []*types.Block) (int, error) {
 	}
 	c.state = results[len(results)-1].post
 	c.orphaned += uint64(orphaned)
+	if c.cfg.Store != nil {
+		// Rewrite the reorged numbers (the log's last-write-wins replay
+		// makes the new branch canonical on recovery) and move the head.
+		// The branch is already fully validated and adopted in memory, so
+		// persist errors only degrade restart fidelity.
+		for j, b := range fork {
+			var post *statedb.StateDB
+			if j == len(fork)-1 {
+				post = results[j].post
+			}
+			if err := c.persistLocked(b, post); err != nil {
+				return orphaned, fmt.Errorf("chain: persist fork block %d: %w", b.Number(), err)
+			}
+		}
+	}
 	return orphaned, nil
 }
 
@@ -442,13 +494,21 @@ func (c *Chain) Orphaned() uint64 {
 // adopt appends a validated block. post must be flushed (Root called);
 // it may be shared with other chains and is never mutated in place —
 // every execution copies it first (ExecuteBlock) and reads go through
-// ReadState/State.
-func (c *Chain) adopt(block *types.Block, receipts []*types.Receipt, post *statedb.StateDB) {
+// ReadState/State. With a store configured, the block is persisted
+// BEFORE the in-memory adoption so a persist failure leaves memory and
+// disk agreeing on the old head.
+func (c *Chain) adopt(block *types.Block, receipts []*types.Receipt, post *statedb.StateDB) error {
+	if c.cfg.Store != nil {
+		if err := c.persistLocked(block, post); err != nil {
+			return fmt.Errorf("chain: persist block %d: %w", block.Number(), err)
+		}
+	}
 	c.blocks = append(c.blocks, block)
 	c.byHash[block.Hash()] = block
 	c.receipts[block.Hash()] = receipts
 	c.posts[block.Hash()] = post
 	c.state = post
+	return nil
 }
 
 // verifySeal checks the PoW target when difficulty is enabled.

@@ -45,6 +45,13 @@ type ParallelStats struct {
 	// Fallbacks counts whole bodies routed to the sequential processor
 	// (below-threshold bodies or a single-worker configuration).
 	Fallbacks uint64
+	// ReadOnlySkips counts merged speculations whose overlay held no
+	// writes at all, so MergeInto was skipped outright.
+	ReadOnlySkips uint64
+	// NonceOnlyMerges counts merged speculations whose only write was
+	// the sender nonce bump (read-only contract calls routed through
+	// transactions), committed via the single-field fast path.
+	NonceOnlyMerges uint64
 }
 
 // ParallelProcessor executes block bodies optimistically on a worker
@@ -56,10 +63,12 @@ type ParallelProcessor struct {
 	workers   int
 	threshold int
 
-	speculated atomic.Uint64
-	merged     atomic.Uint64
-	reruns     atomic.Uint64
-	fallbacks  atomic.Uint64
+	speculated      atomic.Uint64
+	merged          atomic.Uint64
+	reruns          atomic.Uint64
+	fallbacks       atomic.Uint64
+	readOnlySkips   atomic.Uint64
+	nonceOnlyMerges atomic.Uint64
 }
 
 // NewParallelProcessor returns a parallel processor for the given chain
@@ -91,10 +100,12 @@ func (p *ParallelProcessor) Workers() int { return p.workers }
 // Stats returns a snapshot of the scheduler counters.
 func (p *ParallelProcessor) Stats() ParallelStats {
 	return ParallelStats{
-		Speculated: p.speculated.Load(),
-		Merged:     p.merged.Load(),
-		Reruns:     p.reruns.Load(),
-		Fallbacks:  p.fallbacks.Load(),
+		Speculated:      p.speculated.Load(),
+		Merged:          p.merged.Load(),
+		Reruns:          p.reruns.Load(),
+		Fallbacks:       p.fallbacks.Load(),
+		ReadOnlySkips:   p.readOnlySkips.Load(),
+		NonceOnlyMerges: p.nonceOnlyMerges.Load(),
 	}
 }
 
@@ -128,7 +139,7 @@ func (p *ParallelProcessor) processParallel(parentState *statedb.StateDB, header
 	// committed state through the oracle's own applyTransaction.
 	var serial *evm.EVM
 	var gasUsed uint64
-	var merged, reruns uint64
+	var merged, reruns, readOnly, nonceOnly uint64
 	for i, tx := range txs {
 		t := sched.wait(i)
 		if gasUsed+tx.GasLimit > p.seq.gasLimit {
@@ -137,9 +148,20 @@ func (p *ParallelProcessor) processParallel(parentState *statedb.StateDB, header
 		if t.err == nil && t.view.Validate(st) {
 			// Clean speculation: the read set still holds against
 			// everything committed below this index, so the overlay IS
-			// the serial outcome — merge it without replay.
+			// the serial outcome — merge it without replay. Views whose
+			// write footprint is empty (pure readers) or a lone sender
+			// nonce bump (read-only contract calls carried by a tx) take
+			// the cheaper commit paths: the serving tier's read traffic
+			// must not pay a full overlay walk per transaction.
 			slab[i] = t.receipt
-			t.view.MergeInto(st)
+			if t.view.IsReadOnly() {
+				readOnly++
+			} else if addr, nonce, ok := t.view.NonceOnlyWrite(); ok {
+				st.MergeNonce(addr, nonce)
+				nonceOnly++
+			} else {
+				t.view.MergeInto(st)
+			}
 			merged++
 		} else {
 			// Conflict (or a speculative signature/nonce error that must
@@ -163,6 +185,8 @@ func (p *ParallelProcessor) processParallel(parentState *statedb.StateDB, header
 	p.speculated.Add(uint64(len(txs)))
 	p.merged.Add(merged)
 	p.reruns.Add(reruns)
+	p.readOnlySkips.Add(readOnly)
+	p.nonceOnlyMerges.Add(nonceOnly)
 	res := &ExecResult{
 		Receipts:  receipts,
 		Post:      st,

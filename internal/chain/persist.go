@@ -1,0 +1,162 @@
+// This file implements chain persistence and restart recovery. With a
+// Config.Store attached, every adopted block commits its post state's
+// dirty trie paths, its RLP body and a head pointer into the flat
+// store; Open rebuilds a chain from those records WITHOUT replaying a
+// single transaction — blocks decode straight from the log and head
+// state reopens lazily from its root.
+//
+// Store layout (alongside the raw 32-byte trie-node and 'c'-prefixed
+// code records written through statedb.CommitTo):
+//
+//	'b' || uint64be(number) -> block RLP   (last write wins on reorgs)
+//	"head"                  -> uint64be(number) of the canonical head
+//
+// Receipts are not persisted: a recovered node serves history headers
+// and live state; per-block receipts regenerate on demand by replaying
+// the single block of interest against its parent state if ever needed.
+
+package chain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sereth/internal/statedb"
+	"sereth/internal/store"
+	"sereth/internal/types"
+)
+
+// ErrNoHead marks a store with no recoverable chain in it.
+var ErrNoHead = errors.New("chain: store has no head record")
+
+var headKey = []byte("head")
+
+func blockKey(n uint64) []byte {
+	k := make([]byte, 9)
+	k[0] = 'b'
+	binary.BigEndian.PutUint64(k[1:], n)
+	return k
+}
+
+// persistLocked writes one adopted block to the store: the post state's
+// new trie nodes and code first (their own batch), then the block body
+// and head pointer, head last — so a torn tail after a crash always
+// drops the head record before the data it points at. post may be nil
+// when the state was already committed by a later block in the same
+// reorg batch.
+func (c *Chain) persistLocked(block *types.Block, post *statedb.StateDB) error {
+	if post != nil {
+		root, _, err := post.CommitTo(c.cfg.Store)
+		if err != nil {
+			return err
+		}
+		if root != block.Header.StateRoot {
+			// Defensive: the block was validated against this exact state.
+			return fmt.Errorf("%w: committed %s, header %s", ErrBadStateRoot, root.Hex(), block.Header.StateRoot.Hex())
+		}
+	}
+	b := &store.Batch{}
+	b.Put(blockKey(block.Number()), block.EncodeRLP())
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], block.Number())
+	b.Put(headKey, num[:])
+	return c.cfg.Store.Write(b)
+}
+
+// HasHead reports whether kv holds a recoverable chain.
+func HasHead(kv store.Store) bool {
+	_, ok := kv.Get(headKey)
+	return ok
+}
+
+// Open recovers a chain from a store previously written by a chain with
+// the same Config.Store. Every canonical block (from the recorded base
+// up to the head pointer) is decoded into memory — cheap, since nothing
+// is re-executed — and head state reopens lazily from the head block's
+// state root. The recovered chain:
+//
+//   - accepts new blocks exactly like the original (its head state
+//     resolves reads through the store on demand);
+//   - retains only the head post state, so ImportFork can reorg only at
+//     the head (deeper attach points report ErrUnknownParent and the
+//     node falls back to block sync);
+//   - has no receipts for historical blocks.
+//
+// cfg.Store must be the same store; Open sets it if nil.
+func Open(cfg Config, kv store.Store) (*Chain, error) {
+	if cfg.Store == nil {
+		cfg.Store = kv
+	}
+	headB, ok := kv.Get(headKey)
+	if !ok {
+		return nil, ErrNoHead
+	}
+	if len(headB) != 8 {
+		return nil, fmt.Errorf("chain: corrupt head record (%d bytes)", len(headB))
+	}
+	head := binary.BigEndian.Uint64(headB)
+
+	// Walk down from the head following parent hashes, so stale records
+	// from abandoned branches (last-write-wins leftovers below a reorg
+	// point) can never splice into the recovered chain.
+	blocks := make([]*types.Block, 0, head+1)
+	var want types.Hash
+	haveWant := false
+	num := head
+	for {
+		enc, ok := kv.Get(blockKey(num))
+		if !ok {
+			if haveWant {
+				// History bottoms out above 0: a snapshot-bootstrapped
+				// datadir. Everything below its base was never stored.
+				break
+			}
+			return nil, fmt.Errorf("chain: missing block record %d", num)
+		}
+		blk, err := types.DecodeBlock(enc)
+		if err != nil {
+			return nil, fmt.Errorf("chain: corrupt block record %d: %w", num, err)
+		}
+		if blk.Number() != num {
+			return nil, fmt.Errorf("chain: block record %d holds number %d", num, blk.Number())
+		}
+		if haveWant && blk.Hash() != want {
+			// A stale pre-reorg record: the canonical chain above it no
+			// longer references it. Treat it like missing history.
+			break
+		}
+		blocks = append(blocks, blk)
+		if num == 0 {
+			break
+		}
+		want = blk.Header.ParentHash
+		haveWant = true
+		num--
+	}
+	// Reverse into ascending order.
+	for i, j := 0, len(blocks)-1; i < j; i, j = i+1, j-1 {
+		blocks[i], blocks[j] = blocks[j], blocks[i]
+	}
+
+	headBlock := blocks[len(blocks)-1]
+	state := statedb.OpenAt(kv, headBlock.Header.StateRoot)
+	c := &Chain{
+		cfg:      cfg,
+		proc:     NewProcessor(cfg),
+		base:     blocks[0].Number(),
+		blocks:   blocks,
+		byHash:   make(map[types.Hash]*types.Block, len(blocks)),
+		receipts: map[types.Hash][]*types.Receipt{},
+		state:    state,
+		posts:    map[types.Hash]*statedb.StateDB{headBlock.Hash(): state},
+	}
+	for _, b := range blocks {
+		c.byHash[b.Hash()] = b
+	}
+	if cfg.Parallel {
+		c.par = NewParallelProcessor(cfg)
+		c.proc = c.par.Sequential()
+	}
+	return c, nil
+}

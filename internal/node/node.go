@@ -9,6 +9,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 
 	"sereth/internal/asm"
@@ -19,6 +20,7 @@ import (
 	"sereth/internal/p2p"
 	"sereth/internal/raa"
 	"sereth/internal/statedb"
+	"sereth/internal/store"
 	"sereth/internal/txpool"
 	"sereth/internal/types"
 	"sereth/internal/wallet"
@@ -90,6 +92,14 @@ type Config struct {
 	// censoring adversary that excludes every pending transaction from
 	// the listed senders (robustness experiments).
 	CensorTargets []types.Address
+	// Store, when set, persists every adopted block and its state so a
+	// restart recovers the head without replay. A store that already
+	// holds a head takes precedence over Genesis and Bootstrap.
+	Store store.Store
+	// Bootstrap, when set, is a snapshot stream (from a serving peer's
+	// WriteSnapshot) to fast-bootstrap from; rejected snapshots fall
+	// back to Genesis + block sync. See persist.go.
+	Bootstrap io.Reader
 }
 
 // Node is one peer: a full validating client, optionally mining.
@@ -103,6 +113,8 @@ type Node struct {
 	miner   *miner.Miner
 	censor  *miner.Censor // non-nil when CensorTargets is set
 	net     *p2p.Network
+	store   store.Store // nil without persistence
+	boot    BootSource
 
 	mu    sync.Mutex
 	stats Stats
@@ -174,12 +186,17 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Lazy {
 		cfg.Chain.LazyValidation = true
 	}
-	c := chain.New(cfg.Chain, cfg.Genesis)
+	c, boot, err := buildChain(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", cfg.ID, err)
+	}
 	n := &Node{
 		id:      cfg.ID,
 		mode:    cfg.Mode,
 		chain:   c,
 		net:     cfg.Network,
+		store:   cfg.Store,
+		boot:    boot,
 		orphans: make(map[uint64]orphanEntry),
 	}
 	poolOpts := []txpool.Option{txpool.WithValidator(func(tx *types.Transaction) error {

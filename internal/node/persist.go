@@ -1,0 +1,85 @@
+// This file wires chain persistence and snapshot fast-bootstrap into
+// node construction. A node picks its chain source in priority order:
+//
+//  1. a datadir that already holds a head — recovered in place, no
+//     replay (Config.Genesis is ignored; the datadir is authoritative);
+//  2. a snapshot stream from a serving peer — verified against its
+//     header's state root and adopted as the new base; a snapshot that
+//     fails verification is discarded and the node falls back to
+//  3. plain genesis — from which ordinary block sync (HandleBlock's
+//     catch-up requests) converges the node with the network.
+package node
+
+import (
+	"io"
+
+	"sereth/internal/chain"
+	"sereth/internal/store"
+)
+
+// BootSource reports where a node's chain came from.
+type BootSource int
+
+// Chain bootstrap sources.
+const (
+	// BootGenesis is a fresh chain from Config.Genesis.
+	BootGenesis BootSource = iota
+	// BootRecovered is a chain recovered from Config.Store's datadir.
+	BootRecovered
+	// BootSnapshot is a chain imported from Config.Bootstrap.
+	BootSnapshot
+	// BootSnapshotFailed means Config.Bootstrap was rejected (corrupt or
+	// root mismatch) and the node fell back to genesis + block sync.
+	BootSnapshotFailed
+)
+
+func (b BootSource) String() string {
+	switch b {
+	case BootRecovered:
+		return "recovered"
+	case BootSnapshot:
+		return "snapshot"
+	case BootSnapshotFailed:
+		return "snapshot-failed"
+	}
+	return "genesis"
+}
+
+// buildChain selects and constructs the node's chain per the priority
+// order above. The returned error is fatal only for a corrupt datadir —
+// a node that silently abandoned its persisted history would double-act
+// on the network.
+func buildChain(cfg Config) (*chain.Chain, BootSource, error) {
+	if cfg.Store != nil {
+		cfg.Chain.Store = cfg.Store
+		if chain.HasHead(cfg.Store) {
+			c, err := chain.Open(cfg.Chain, cfg.Store)
+			if err != nil {
+				return nil, BootGenesis, err
+			}
+			return c, BootRecovered, nil
+		}
+	}
+	if cfg.Bootstrap != nil {
+		c, err := chain.OpenSnapshot(cfg.Chain, cfg.Bootstrap)
+		if err == nil {
+			return c, BootSnapshot, nil
+		}
+		return chain.New(cfg.Chain, cfg.Genesis), BootSnapshotFailed, nil
+	}
+	return chain.New(cfg.Chain, cfg.Genesis), BootGenesis, nil
+}
+
+// WriteSnapshot streams this node's head block and full state for a
+// joining peer's fast-bootstrap. Nodes recovered from a datadir serve
+// statedb.ErrPartialState (their state is a lazy overlay); joiners then
+// fall back to block sync.
+func (n *Node) WriteSnapshot(w io.Writer) error {
+	return n.chain.WriteSnapshot(w)
+}
+
+// BootSource reports how this node's chain was constructed.
+func (n *Node) BootSource() BootSource { return n.boot }
+
+// Store returns the node's backing store (nil without persistence).
+func (n *Node) Store() store.Store { return n.store }

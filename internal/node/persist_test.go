@@ -1,0 +1,162 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+
+	"sereth/internal/asm"
+	"sereth/internal/chain"
+	"sereth/internal/p2p"
+	"sereth/internal/statedb"
+	"sereth/internal/store"
+	"sereth/internal/types"
+)
+
+// mineBlocks drives n through count mining rounds with one set() tx each.
+func mineBlocks(t *testing.T, f *fixture, n *Node, count int) {
+	t.Helper()
+	prev := types.ZeroWord
+	start := n.NonceAt(f.owner.Address())
+	for i := 0; i < count; i++ {
+		val := uint64(10 + i)
+		if _, err := n.SubmitSet(f.owner, start+uint64(i), contractAddr, types.FlagHead, prev, types.WordFromUint64(val)); err != nil {
+			t.Fatal(err)
+		}
+		f.net.AdvanceTo(f.net.Now() + 5)
+		if _, err := n.MineAndBroadcast(f.net.Now() + 15); err != nil {
+			t.Fatal(err)
+		}
+		f.net.AdvanceTo(f.net.Now() + 20)
+		prev = types.WordFromUint64(val)
+	}
+}
+
+func TestNodeRestartRecoversHead(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFixture(t, Config{Mode: ModeSereth, Miner: MinerBaseline, Store: kv})
+	miner := f.nodes[0]
+	if miner.BootSource() != BootGenesis {
+		t.Fatalf("fresh datadir boot source = %s", miner.BootSource())
+	}
+	mineBlocks(t, f, miner, 3)
+	wantHead := miner.Chain().Head().Hash()
+	wantPrice := miner.StorageAt(contractAddr, 2)
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: same datadir, fresh process state, no genesis replay.
+	kv2, err := store.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = kv2.Close() }()
+	net2 := p2p.NewNetwork(p2p.Config{})
+	chainCfg := chain.DefaultConfig()
+	chainCfg.Registry = f.reg
+	re, err := New(Config{
+		ID: 1, Mode: ModeSereth, Miner: MinerBaseline, Contract: contractAddr,
+		Chain: chainCfg, Network: net2, Store: kv2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if re.BootSource() != BootRecovered {
+		t.Fatalf("boot source = %s", re.BootSource())
+	}
+	if re.Chain().Height() != 3 || re.Chain().Head().Hash() != wantHead {
+		t.Fatalf("recovered height %d head %s", re.Chain().Height(), re.Chain().Head().Hash().Hex())
+	}
+	if got := re.StorageAt(contractAddr, 2); got != wantPrice {
+		t.Fatalf("recovered price %x != %x", got, wantPrice)
+	}
+	// The recovered node keeps producing blocks.
+	f2 := &fixture{net: net2, owner: f.owner, reg: f.reg}
+	mineBlocks(t, f2, re, 1)
+	if re.Chain().Height() != 4 {
+		t.Fatal("recovered node cannot extend the chain")
+	}
+}
+
+func TestSnapshotBootstrapJoiner(t *testing.T) {
+	f := newFixture(t, Config{Mode: ModeGeth, Miner: MinerBaseline})
+	miner := f.nodes[0]
+	mineBlocks(t, f, miner, 3)
+
+	var snap bytes.Buffer
+	if err := miner.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	chainCfg := chain.DefaultConfig()
+	chainCfg.Registry = f.reg
+	joiner, err := New(Config{
+		ID: 9, Mode: ModeGeth, Contract: contractAddr,
+		Chain: chainCfg, Network: f.net, Bootstrap: bytes.NewReader(snap.Bytes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joiner.BootSource() != BootSnapshot {
+		t.Fatalf("boot source = %s", joiner.BootSource())
+	}
+	if joiner.Chain().Head().Hash() != miner.Chain().Head().Hash() {
+		t.Fatal("joiner head differs from serving peer")
+	}
+	if joiner.Chain().Base() != 3 {
+		t.Fatalf("joiner base = %d", joiner.Chain().Base())
+	}
+
+	// The joiner follows subsequent blocks like any peer.
+	mineBlocks(t, f, miner, 2)
+	if joiner.Chain().Height() != miner.Chain().Height() ||
+		joiner.Chain().Head().Hash() != miner.Chain().Head().Hash() {
+		t.Fatalf("joiner at %d, network at %d", joiner.Chain().Height(), miner.Chain().Height())
+	}
+}
+
+func TestSnapshotFallbackToBlockSync(t *testing.T) {
+	f := newFixture(t, Config{Mode: ModeGeth, Miner: MinerBaseline})
+	miner := f.nodes[0]
+	mineBlocks(t, f, miner, 3)
+
+	// A corrupt snapshot must not wedge the joiner: it falls back to
+	// genesis and catch-up sync converges it. The joiner shares the
+	// network's genesis so block sync can attach at block 0.
+	genesis := statedb.New()
+	genesis.SetCode(contractAddr, asm.SerethContract())
+	chainCfg := chain.DefaultConfig()
+	chainCfg.Registry = f.reg
+	var snap bytes.Buffer
+	if err := miner.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	tampered := snap.Bytes()
+	tampered[len(tampered)-8] ^= 0xff
+	joiner, err := New(Config{
+		ID: 9, Mode: ModeGeth, Contract: contractAddr,
+		Chain: chainCfg, Genesis: genesis, Network: f.net,
+		Bootstrap: bytes.NewReader(tampered),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joiner.BootSource() != BootSnapshotFailed {
+		t.Fatalf("boot source = %s", joiner.BootSource())
+	}
+	if joiner.Chain().Height() != 0 {
+		t.Fatal("fallback joiner should start at genesis")
+	}
+
+	// Next broadcast block arrives ahead of the joiner's head; the
+	// orphan/catch-up path pulls the gap and converges it.
+	mineBlocks(t, f, miner, 1)
+	f.net.AdvanceTo(f.net.Now() + 200)
+	if joiner.Chain().Height() != miner.Chain().Height() ||
+		joiner.Chain().Head().Hash() != miner.Chain().Head().Hash() {
+		t.Fatalf("joiner at %d, network at %d", joiner.Chain().Height(), miner.Chain().Height())
+	}
+}

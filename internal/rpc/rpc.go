@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"sereth/internal/node"
 	"sereth/internal/types"
@@ -237,22 +238,52 @@ func decodeHexBytes(s string) ([]byte, error) {
 	return hex.DecodeString(s)
 }
 
+// DefaultTimeout bounds each HTTP round trip of a Client unless
+// overridden with WithTimeout.
+const DefaultTimeout = 5 * time.Second
+
 // Client is a minimal JSON-RPC caller.
 type Client struct {
-	url  string
-	http *http.Client
+	url     string
+	http    *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout overrides the per-request HTTP timeout (0 disables it).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithRetries makes transport-level failures (connection errors,
+// timeouts, 5xx statuses) retry up to n additional attempts, sleeping
+// backoff, 2*backoff, 4*backoff, ... between them. JSON-RPC errors are
+// server verdicts, not transport failures, and are never retried.
+func WithRetries(n int, backoff time.Duration) ClientOption {
+	return func(c *Client) { c.retries, c.backoff = n, backoff }
 }
 
 // NewClient returns a client for the given endpoint URL.
-func NewClient(url string) *Client {
-	return &Client{url: url, http: &http.Client{}}
+func NewClient(url string, opts ...ClientOption) *Client {
+	c := &Client{url: url, http: &http.Client{Timeout: DefaultTimeout}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // ErrRPC wraps a server-side JSON-RPC error.
 var ErrRPC = errors.New("rpc error")
 
+// ErrHTTPStatus wraps a non-200 HTTP response.
+var ErrHTTPStatus = errors.New("rpc: unexpected HTTP status")
+
 // Call performs one JSON-RPC request, decoding the result into out
-// (which may be nil to discard).
+// (which may be nil to discard). Transport failures retry per
+// WithRetries; the last error is returned when retries are exhausted.
 func (c *Client) Call(method string, out interface{}, params ...interface{}) error {
 	rawParams := make([]json.RawMessage, len(params))
 	for i, p := range params {
@@ -268,25 +299,46 @@ func (c *Client) Call(method string, out interface{}, params ...interface{}) err
 	if err != nil {
 		return err
 	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var retryable bool
+		lastErr, retryable = c.post(reqBody, out)
+		if lastErr == nil || !retryable || attempt >= c.retries {
+			return lastErr
+		}
+		time.Sleep(c.backoff << attempt)
+	}
+}
+
+// post runs one HTTP round trip; the bool reports whether the failure
+// is transport-level (worth retrying).
+func (c *Client) post(reqBody []byte, out interface{}) (error, bool) {
 	httpResp, err := c.http.Post(c.url, "application/json", bytes.NewReader(reqBody))
 	if err != nil {
-		return err
+		return err, true
 	}
 	defer func() { _ = httpResp.Body.Close() }()
+	if httpResp.StatusCode != http.StatusOK {
+		// Drain a bounded slice of the body for the error message.
+		snippet, _ := io.ReadAll(io.LimitReader(httpResp.Body, 256))
+		err := fmt.Errorf("%w: %d %s", ErrHTTPStatus, httpResp.StatusCode,
+			strings.TrimSpace(string(snippet)))
+		return err, httpResp.StatusCode >= 500
+	}
 	var resp struct {
 		Result json.RawMessage `json:"result"`
 		Error  *rpcError       `json:"error"`
 	}
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return fmt.Errorf("decode response: %w", err)
+		return fmt.Errorf("decode response: %w", err), false
 	}
 	if resp.Error != nil {
-		return fmt.Errorf("%w: %d %s", ErrRPC, resp.Error.Code, resp.Error.Message)
+		return fmt.Errorf("%w: %d %s", ErrRPC, resp.Error.Code, resp.Error.Message), false
 	}
 	if out != nil {
-		return json.Unmarshal(resp.Result, out)
+		return json.Unmarshal(resp.Result, out), false
 	}
-	return nil
+	return nil, false
 }
 
 // BlockNumber fetches the chain height.

@@ -334,6 +334,35 @@ func NewParallelFixture(n int) *ParallelFixture {
 	}
 }
 
+// NewParallelFixtureWithReaders is NewParallelFixture plus readers
+// no-op reader transactions interleaved through the body: each is an
+// unknown-selector call on the KV contract from its own fresh sender,
+// so it executes to a successful STOP whose only state write is the
+// sender's nonce bump. This is the shape of the serving tier's read
+// traffic when routed through transactions, and it drives the commit
+// loop's nonce-only merge fast path (ParallelStats.NonceOnlyMerges).
+func NewParallelFixtureWithReaders(n, readers int) *ParallelFixture {
+	f := NewParallelFixture(n)
+	peek := types.SelectorFor("peek()") // not in the KV dispatch table
+	for i := 0; i < readers; i++ {
+		key := wallet.NewKey(fmt.Sprintf("par-reader-%d", i))
+		f.Registry.Register(key)
+		tx := key.SignTx(&types.Transaction{
+			Nonce:    0,
+			To:       KVContract,
+			GasPrice: 10,
+			GasLimit: 100_000,
+			Data:     types.EncodeCall(peek),
+		}).Memoize()
+		// Interleave so readers and writers share the speculation pool.
+		at := (i * 2) % (len(f.Txs) + 1)
+		f.Txs = append(f.Txs[:at], append([]*types.Transaction{tx}, f.Txs[at:]...)...)
+	}
+	f.GasLimit = uint64(len(f.Txs)+1) * 100_000
+	f.Header.GasLimit = f.GasLimit
+	return f
+}
+
 // NewProcessor returns a processor over the fixture's configuration:
 // sequential when workers == 0, parallel with that worker count
 // otherwise (threshold 1, so every body takes the parallel path).

@@ -27,6 +27,14 @@ type Shape struct {
 	// either way; the flag exists to exercise the parallel path across
 	// every sweep.
 	ParallelExec bool
+	// RPCClients publishes client peers behind real HTTP JSON-RPC
+	// endpoints (serethsim -rpc-clients). η is bit-identical either
+	// way; the flag exists to exercise the serving tier across sweeps.
+	RPCClients bool
+	// Persist backs every node's chain with an in-memory store
+	// (serethsim -persist), flushing state and blocks write-through at
+	// each adoption. η is bit-identical either way.
+	Persist bool
 }
 
 // Apply returns cfg with the non-zero shape fields overridden.
@@ -51,6 +59,12 @@ func (sh Shape) Apply(cfg ScenarioConfig) ScenarioConfig {
 	}
 	if sh.ParallelExec {
 		cfg.ParallelExec = true
+	}
+	if sh.RPCClients {
+		cfg.RPCClients = true
+	}
+	if sh.Persist {
+		cfg.Persist = true
 	}
 	return cfg
 }

@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// requireIdentical compares the full workload accounting of two runs.
+func requireIdentical(t *testing.T, name string, a, b Result) {
+	t.Helper()
+	if a.BuysSubmitted != b.BuysSubmitted || a.BuysIncluded != b.BuysIncluded ||
+		a.BuysSucceeded != b.BuysSucceeded || a.BuysDropped != b.BuysDropped {
+		t.Errorf("%s: buy divergence: %d/%d/%d/%d vs %d/%d/%d/%d", name,
+			a.BuysSubmitted, a.BuysIncluded, a.BuysSucceeded, a.BuysDropped,
+			b.BuysSubmitted, b.BuysIncluded, b.BuysSucceeded, b.BuysDropped)
+	}
+	if a.SetsSubmitted != b.SetsSubmitted || a.SetsIncluded != b.SetsIncluded ||
+		a.SetsSucceeded != b.SetsSucceeded || a.SetsDropped != b.SetsDropped {
+		t.Errorf("%s: set divergence", name)
+	}
+	if a.Blocks != b.Blocks || a.MsgsSent != b.MsgsSent || a.Evicted != b.Evicted {
+		t.Errorf("%s: chain/network divergence: %d blocks %d msgs %d evicted vs %d/%d/%d",
+			name, a.Blocks, a.MsgsSent, a.Evicted, b.Blocks, b.MsgsSent, b.Evicted)
+	}
+}
+
+// TestRPCClientsEtaMatchesInProcess pins the serving tier against the
+// in-process client on both Figure-2 client modes: the HTTP JSON-RPC
+// round trip must return the same views and admit the same
+// transactions, leaving every measured quantity bit-identical.
+func TestRPCClientsEtaMatchesInProcess(t *testing.T) {
+	for _, mk := range []func(int, int64) ScenarioConfig{SerethClient, GethUnmodified} {
+		local, err := Run(mk(20, 101))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mk(20, 101)
+		cfg.RPCClients = true
+		served, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, cfg.Name, local, served)
+	}
+}
+
+// TestRPCClientsOverloadBackpressure proves the wire path preserves
+// pool backpressure: a full pool's refusal crosses the RPC boundary as
+// an error that maps back to the drop accounting, so the overload
+// family measures identical drops and evictions either way.
+func TestRPCClientsOverloadBackpressure(t *testing.T) {
+	local, err := Run(Overload(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.BuysDropped == 0 && local.Evicted == 0 {
+		t.Fatal("overload fixture exerted no backpressure; the test proves nothing")
+	}
+	cfg := Overload(101)
+	cfg.RPCClients = true
+	served, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "overload", local, served)
+}
+
+// TestPersistDeterministic pins store-backed runs against plain runs on
+// the paper rig (the full golden sweep lives in internal/scenarios).
+func TestPersistDeterministic(t *testing.T) {
+	plain, err := Run(SerethClient(20, 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SerethClient(20, 101)
+	cfg.Persist = true
+	persisted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "sereth_client", plain, persisted)
+}

@@ -20,6 +20,7 @@ import (
 	"sereth/internal/node"
 	"sereth/internal/p2p"
 	"sereth/internal/statedb"
+	"sereth/internal/store"
 	"sereth/internal/txpool"
 	"sereth/internal/types"
 	"sereth/internal/wallet"
@@ -112,6 +113,23 @@ type ScenarioConfig struct {
 	// bit-identical to the sequential processor by construction (and by
 	// the differential suite), so every measured η is unaffected.
 	ParallelExec bool
+
+	// RPCClients publishes every client peer behind a real HTTP JSON-RPC
+	// endpoint (rpc.Server on an httptest listener): view reads travel
+	// as sereth_view / eth_getStorageAt calls and submissions as
+	// eth_sendRawTransaction, exercising the full serving tier
+	// in-process. The round trip returns the same view words and admits
+	// the same signed transactions, so every measured η is unaffected.
+	// Burst submissions (BurstSize > 1) keep the in-process batched
+	// pipeline — JSON-RPC has no batch submit.
+	RPCClients bool
+
+	// Persist backs every node's chain with its own in-memory
+	// store.Store, so each adopted block flushes dirty state and block
+	// records exactly as a disk-backed deployment would. Persistence is
+	// write-through — it never changes execution — so every measured η
+	// is unaffected.
+	Persist bool
 }
 
 // Defaults returns the shared experiment parameterization (the private
@@ -332,6 +350,7 @@ type scenario struct {
 	baseline []*node.Node // baseline-mining peers
 	clients  []*node.Node // non-mining client peers
 	nodes    []*node.Node // all peers
+	rpc      *rpcFrontend // serving tier (nil unless RPCClients)
 
 	contract types.Address
 	owner    *wallet.Key
@@ -513,6 +532,9 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 			nodeCfg.CensorTargets = censorTargets
 			censorLeft--
 		}
+		if cfg.Persist {
+			nodeCfg.Store = store.NewMem()
+		}
 		return node.New(nodeCfg)
 	}
 	// Peer ids are assigned semantic miners first, then baseline miners,
@@ -564,6 +586,12 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 		default:
 			return nil, fmt.Errorf("sim: unknown adversary %q", fp.Adversary)
 		}
+	}
+	// The serving tier comes up last: newScenario has no error paths
+	// after this point, so the listeners cannot leak on a failed build
+	// (run tears them down).
+	if cfg.RPCClients {
+		s.rpc = newRPCFrontend(s.clients, s.contract)
 	}
 	return s, nil
 }
@@ -743,6 +771,9 @@ func (tl *timeline) stop() { tl.stopped = true }
 // run drives the scenario: every submission, block and network delivery
 // advances through the unified timeline's single clock.
 func (s *scenario) run() (Result, error) {
+	if s.rpc != nil {
+		defer s.rpc.close()
+	}
 	tl := s.newTimeline()
 	for {
 		ev, ok := tl.next()
@@ -977,9 +1008,11 @@ func (s *scenario) checkResyncs(at uint64) {
 // GasPriceSpread the set bids above the buy band so overloaded pools do
 // not evict the price authority.
 func (s *scenario) submitSet() error {
-	client := s.clients[0]
 	price := types.WordFromUint64(uint64(10 + s.rng.Intn(90)))
-	committedMark := client.StorageAt(s.contract, asm.SlotMark)
+	committedMark, err := s.clientStorage(0, asm.SlotMark)
+	if err != nil {
+		return fmt.Errorf("read mark for set %d: %w", s.ownerSets, err)
+	}
 	flag := types.FlagChain
 	if s.ownerMark == committedMark {
 		flag = types.FlagHead
@@ -988,7 +1021,7 @@ func (s *scenario) submitSet() error {
 	if s.cfg.GasPriceSpread > 0 {
 		gasPrice = 10 + uint64(s.cfg.GasPriceSpread)
 	}
-	tx, err := client.SubmitSetPriced(s.owner, s.ownerNonce, s.contract, gasPrice, flag, s.ownerMark, price)
+	tx, err := s.submitSetVia(0, gasPrice, flag, s.ownerMark, price)
 	if err != nil {
 		if errors.Is(err, txpool.ErrPoolFull) {
 			s.setsDropped++
@@ -1011,7 +1044,7 @@ func (s *scenario) submitSet() error {
 // chain instead of a remote view). The sender's nonce is read but NOT
 // consumed — callers commit it via commitBuy once the transaction is
 // accepted, so a refused buy never gaps the sender's sequence.
-func (s *scenario) buildBuy(i int) (clientIdx, buyerIdx int, tx *types.Transaction) {
+func (s *scenario) buildBuy(i int) (clientIdx, buyerIdx int, tx *types.Transaction, err error) {
 	buyerIdx = i % len(s.buyers)
 	key := s.buyers[buyerIdx]
 	clientIdx = buyerIdx % len(s.clients)
@@ -1021,7 +1054,6 @@ func (s *scenario) buildBuy(i int) (clientIdx, buyerIdx int, tx *types.Transacti
 		// retry against another endpoint.
 		clientIdx = 0
 	}
-	client := s.clients[clientIdx]
 
 	var flag, mark, value types.Word
 	var nonce uint64
@@ -1032,7 +1064,10 @@ func (s *scenario) buildBuy(i int) (clientIdx, buyerIdx int, tx *types.Transacti
 		flag, mark, value = types.FlagChain, s.ownerMark, s.ownerValue
 		nonce = s.ownerNonce
 	} else {
-		flag, mark, value = client.ViewAMV(key.Address(), s.contract)
+		flag, mark, value, err = s.clientView(clientIdx, key.Address())
+		if err != nil {
+			return clientIdx, buyerIdx, nil, err
+		}
 		nonce = s.buyerNonce[buyerIdx]
 	}
 	gasPrice := uint64(10)
@@ -1045,7 +1080,7 @@ func (s *scenario) buildBuy(i int) (clientIdx, buyerIdx int, tx *types.Transacti
 		GasPrice: gasPrice,
 		GasLimit: 300_000,
 		Data:     types.EncodeCall(asm.SelBuy, flag, mark, value),
-	})
+	}), nil
 }
 
 // commitBuy records an accepted buy: the sender's nonce is consumed and
@@ -1066,8 +1101,11 @@ func (s *scenario) commitBuy(buyerIdx int, tx *types.Transaction) {
 
 // submitBuy issues one buy through its client.
 func (s *scenario) submitBuy(i int) error {
-	clientIdx, buyerIdx, tx := s.buildBuy(i)
-	if err := s.clients[clientIdx].SubmitTx(tx); err != nil {
+	clientIdx, buyerIdx, tx, err := s.buildBuy(i)
+	if err != nil {
+		return fmt.Errorf("build buy %d: %w", i, err)
+	}
+	if err := s.submitVia(clientIdx, tx); err != nil {
 		// A refused buy never existed anywhere, so its nonce must NOT be
 		// consumed — a burned nonce would gap the sender's sequence and
 		// make every later buy from this buyer unminable.
@@ -1095,7 +1133,10 @@ func (s *scenario) submitBurst(start int) error {
 	}
 	groups := make([][]*types.Transaction, len(s.clients))
 	for i := start; i < end; i++ {
-		clientIdx, buyerIdx, tx := s.buildBuy(i)
+		clientIdx, buyerIdx, tx, err := s.buildBuy(i)
+		if err != nil {
+			return fmt.Errorf("build buy %d: %w", i, err)
+		}
 		groups[clientIdx] = append(groups[clientIdx], tx)
 		// The burst family runs on unbounded pools, so acceptance is
 		// certain at build time and the nonce commits eagerly; a refusal

@@ -1,0 +1,176 @@
+// This file implements state persistence: committing the account and
+// storage tries (plus code blobs) into a flat store at block
+// boundaries, and reopening a StateDB lazily from a persisted root so a
+// restarted node recovers head state without replaying the chain.
+
+package statedb
+
+import (
+	"fmt"
+
+	"sereth/internal/rlp"
+	"sereth/internal/store"
+	"sereth/internal/trie"
+	"sereth/internal/types"
+)
+
+// Reader resolves persisted trie nodes and code blobs; store.Store
+// satisfies it.
+type Reader interface {
+	Get(key []byte) ([]byte, bool)
+}
+
+// EmptyCodeHash is Keccak of empty code — accounts carrying it skip the
+// code-blob lookup entirely.
+var EmptyCodeHash = types.Keccak(nil)
+
+// codeKey namespaces code blobs in the flat store: 'c' || Keccak(code).
+// Trie nodes use their bare 32-byte hash, so the prefix keeps the two
+// record families from colliding.
+func codeKey(h types.Hash) []byte {
+	k := make([]byte, 1+len(h))
+	k[0] = 'c'
+	copy(k[1:], h[:])
+	return k
+}
+
+// OpenAt reopens the state committed at root against kv. Accounts and
+// storage slots resolve lazily on first access; nothing is read up
+// front, so opening head state after a restart is O(1) regardless of
+// state size.
+func OpenAt(kv Reader, root types.Hash) *StateDB {
+	return &StateDB{
+		accounts: make(map[types.Address]*account),
+		accTrie:  trie.NewSecureFromRoot(kv, root),
+		db:       kv,
+	}
+}
+
+// CommitTo flushes the state and writes every trie node not yet
+// persisted — exactly the paths the dirty tracking re-encoded since the
+// last commit — plus any new code blobs into kv as one batch. It
+// returns the committed root and the number of records written.
+func (s *StateDB) CommitTo(kv store.Store) (types.Hash, int, error) {
+	root := s.Root() // flush: fold dirty accounts/slots into the tries
+	b := &store.Batch{}
+	n := s.accTrie.Commit(b)
+	for _, acc := range s.accounts {
+		if acc.deleted {
+			continue
+		}
+		if acc.storageTrie != nil {
+			n += acc.storageTrie.Commit(b)
+		}
+		if len(acc.code) > 0 {
+			if acc.codeHash == nil {
+				h := types.Keccak(acc.code)
+				acc.codeHash = &h
+			}
+			ck := codeKey(*acc.codeHash)
+			if _, ok := kv.Get(ck); !ok {
+				b.Put(ck, acc.code)
+				n++
+			}
+		}
+	}
+	if err := kv.Write(b); err != nil {
+		return types.Hash{}, 0, err
+	}
+	return root, n, nil
+}
+
+// resolveAccount materializes addr from the persisted account trie, or
+// nil when the state has no backing store or the account is absent.
+func (s *StateDB) resolveAccount(addr types.Address) *account {
+	if s.db == nil {
+		return nil
+	}
+	enc := s.accTrie.Get(addr[:])
+	if enc == nil {
+		return nil
+	}
+	acc, err := decodeAccount(s.db, enc)
+	if err != nil {
+		panic(fmt.Sprintf("statedb: corrupt account %s: %v", addr.Hex(), err))
+	}
+	return acc
+}
+
+// decodeAccount parses the canonical account encoding (nonce, balance,
+// storage root, code hash) and wires up its lazily-resolved storage
+// trie and code blob.
+func decodeAccount(kv Reader, enc []byte) (*account, error) {
+	it, err := rlp.Decode(enc)
+	if err != nil {
+		return nil, err
+	}
+	elems, err := it.Items()
+	if err != nil || len(elems) != 4 {
+		return nil, fmt.Errorf("account is not a 4-list (%v)", err)
+	}
+	nonce, err := elems[0].AsUint()
+	if err != nil {
+		return nil, fmt.Errorf("nonce: %w", err)
+	}
+	balance, err := elems[1].AsUint()
+	if err != nil {
+		return nil, fmt.Errorf("balance: %w", err)
+	}
+	rootB, err := elems[2].Bytes()
+	if err != nil || len(rootB) != len(types.Hash{}) {
+		return nil, fmt.Errorf("storage root: %v", err)
+	}
+	codeHashB, err := elems[3].Bytes()
+	if err != nil || len(codeHashB) != len(types.Hash{}) {
+		return nil, fmt.Errorf("code hash: %v", err)
+	}
+	var storageRoot, codeHash types.Hash
+	copy(storageRoot[:], rootB)
+	copy(codeHash[:], codeHashB)
+
+	acc := &account{
+		nonce:       nonce,
+		balance:     balance,
+		storage:     make(map[types.Word]types.Word),
+		storageTrie: trie.NewSecureFromRoot(kv, storageRoot),
+		codeHash:    &codeHash,
+		enc:         enc,
+		lazy:        true,
+	}
+	if codeHash != EmptyCodeHash {
+		code, ok := kv.Get(codeKey(codeHash))
+		if !ok {
+			return nil, fmt.Errorf("missing code blob %x", codeHash)
+		}
+		acc.code = code
+	}
+	return acc, nil
+}
+
+// loadSlot reads a storage word through the persisted storage trie of a
+// lazy account. Slots the account has locally dirtied are answered by
+// the map alone (a miss there means genuinely cleared), so a stale trie
+// value can never shadow an in-flight delete.
+func (acc *account) loadSlot(key types.Word) types.Word {
+	if !acc.lazy || acc.storageTrie == nil {
+		return types.ZeroWord
+	}
+	if _, dirty := acc.dirtySlots[key]; dirty {
+		return types.ZeroWord
+	}
+	enc := acc.storageTrie.Get(key[:])
+	if enc == nil {
+		return types.ZeroWord
+	}
+	it, err := rlp.Decode(enc)
+	if err != nil {
+		panic(fmt.Sprintf("statedb: corrupt storage slot: %v", err))
+	}
+	b, err := it.Bytes()
+	if err != nil || len(b) > len(types.Word{}) {
+		panic(fmt.Sprintf("statedb: storage slot is not a word (%v)", err))
+	}
+	var w types.Word
+	copy(w[len(w)-len(b):], b)
+	return w
+}

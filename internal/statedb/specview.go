@@ -371,6 +371,50 @@ func (v *SpecView) Validate(committed *StateDB) bool {
 // stats aid).
 func (v *SpecView) Reads() int { return len(v.reads) }
 
+// IsReadOnly reports whether the view recorded no overlay writes at
+// all — every account entry is a read-only shell. For such a view
+// MergeInto is a no-op and the commit loop can skip it outright.
+func (v *SpecView) IsReadOnly() bool {
+	for _, sa := range v.accounts {
+		if sa.created || sa.nonceSet || sa.balanceSet || sa.codeSet || len(sa.storage) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonceOnlyWrite reports whether the view's entire write footprint is
+// one account's nonce update — the shape of every read-only contract
+// call routed through a transaction (the unavoidable sender nonce
+// bump). A first-time sender's account creation rides along: MergeNonce
+// installs the account exactly like the full merge would, and the
+// creation's recorded existence read is covered by Validate. When true,
+// the commit loop merges the single nonce via StateDB.MergeNonce
+// instead of walking the whole overlay.
+func (v *SpecView) NonceOnlyWrite() (types.Address, uint64, bool) {
+	var addr types.Address
+	var nonce uint64
+	found := false
+	for a, sa := range v.accounts {
+		if !sa.created && !sa.nonceSet && !sa.balanceSet && !sa.codeSet && len(sa.storage) == 0 {
+			continue // read-only shell
+		}
+		if sa.balanceSet || sa.codeSet || len(sa.storage) > 0 || found {
+			return types.Address{}, 0, false
+		}
+		addr, nonce, found = a, sa.nonce, true
+	}
+	return addr, nonce, found
+}
+
+// MergeNonce is the nonce-only fast path of MergeInto: journal-free
+// like the full merge, marking the same dirtiness.
+func (s *StateDB) MergeNonce(addr types.Address, nonce uint64) {
+	acc := s.mergeAccount(addr)
+	acc.nonce = nonce
+	s.touch(addr)
+}
+
 // MergeInto applies the view's surviving overlay writes to dst without
 // replaying the transaction — the commit half of the optimistic
 // scheduler. It must only be called after Validate(dst) succeeded: the

@@ -259,3 +259,58 @@ func TestSpecViewMergeCreatesAccounts(t *testing.T) {
 		t.Error("created-but-unwritten account merged differently than the sequential path")
 	}
 }
+
+// TestSpecViewWriteShapes pins the commit fast-path classifiers: a view
+// that only read is IsReadOnly (MergeInto would be a no-op), a view
+// whose only write is one nonce is NonceOnlyWrite, and anything more is
+// neither.
+func TestSpecViewWriteShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	base := specBase(r)
+	a0, a1 := specAddr(0), specAddr(1)
+
+	view := NewSpecView(base)
+	_ = view.GetBalance(a0)
+	_ = view.GetState(a1, types.WordFromUint64(0))
+	_ = view.GetCode(a1)
+	if !view.IsReadOnly() {
+		t.Fatal("pure-reader view not classified read-only")
+	}
+	if _, _, ok := view.NonceOnlyWrite(); ok {
+		t.Fatal("read-only view classified nonce-only")
+	}
+
+	view.SetNonce(a0, 42)
+	if view.IsReadOnly() {
+		t.Fatal("nonce write left view read-only")
+	}
+	addr, nonce, ok := view.NonceOnlyWrite()
+	if !ok || addr != a0 || nonce != 42 {
+		t.Fatalf("nonce-only = (%x, %d, %v)", addr, nonce, ok)
+	}
+
+	// MergeNonce must land exactly like the full merge.
+	viaFast := base.Copy()
+	viaFull := base.Copy()
+	viaFast.MergeNonce(addr, nonce)
+	view.MergeInto(viaFull)
+	if viaFast.Root() != viaFull.Root() {
+		t.Fatal("MergeNonce diverges from MergeInto")
+	}
+	if viaFast.GetNonce(a0) != 42 {
+		t.Fatal("MergeNonce lost the nonce")
+	}
+
+	view.SetState(a1, types.WordFromUint64(3), types.WordFromUint64(9))
+	if _, _, ok := view.NonceOnlyWrite(); ok {
+		t.Fatal("storage write left view nonce-only")
+	}
+
+	// A second account's nonce disqualifies the single-field path too.
+	view2 := NewSpecView(base)
+	view2.SetNonce(a0, 1)
+	view2.SetNonce(a1, 2)
+	if _, _, ok := view2.NonceOnlyWrite(); ok {
+		t.Fatal("two-account write classified nonce-only")
+	}
+}

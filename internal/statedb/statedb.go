@@ -37,6 +37,11 @@ type StateDB struct {
 	// accTrie is the persistent secure account trie. Its nodes are
 	// immutable (mutations path-copy), so Copy shares them wholesale.
 	accTrie *trie.SecureTrie
+	// db backs a state opened from a persisted root (OpenAt): accounts
+	// and slots absent from the in-memory maps resolve through it on
+	// demand. nil for states built in memory, where the maps are
+	// complete.
+	db Reader
 }
 
 type account struct {
@@ -56,6 +61,10 @@ type account struct {
 	// (e.g. after a snapshot/revert cycle). codeHash caches Keccak(code).
 	enc      []byte
 	codeHash *types.Hash
+	// lazy marks an account materialized from a persisted trie: its
+	// storage map is a partial overlay and misses read through the
+	// storage trie (see loadSlot).
+	lazy bool
 }
 
 // journalKind tags one flat journal entry. Every kind records a state
@@ -151,7 +160,17 @@ func (acc *account) touchSlot(key types.Word) {
 }
 
 func (s *StateDB) getOrCreate(addr types.Address) *account {
-	if acc, ok := s.accounts[addr]; ok && !acc.deleted {
+	if acc, ok := s.accounts[addr]; ok {
+		if !acc.deleted {
+			return acc
+		}
+	} else if acc := s.resolveAccount(addr); acc != nil {
+		// Materializing a persisted account is NOT journaled: the cached
+		// struct is content-equal to the trie, so a revert that crosses
+		// this point simply leaves an accurate cache behind. (Journaling
+		// it as a create would make flush interpret the reverted map
+		// entry as a deletion and drop the account from the trie.)
+		s.accounts[addr] = acc
 		return acc
 	}
 	acc := &account{storage: make(map[types.Word]types.Word)}
@@ -164,12 +183,24 @@ func (s *StateDB) getOrCreate(addr types.Address) *account {
 	return acc
 }
 
+// get returns the account for addr. On a state opened from a persisted
+// root, a map miss falls through to the account trie; the decoded
+// account is returned transiently (NOT installed in the map) so
+// concurrent read-only callers sharing this state never race. Mutators
+// go through getOrCreate, which does install the materialized account —
+// mutation contexts are single-threaded by the StateDB contract.
 func (s *StateDB) get(addr types.Address) (*account, bool) {
 	acc, ok := s.accounts[addr]
-	if !ok || acc.deleted {
-		return nil, false
+	if ok {
+		if acc.deleted {
+			return nil, false
+		}
+		return acc, true
 	}
-	return acc, true
+	if acc := s.resolveAccount(addr); acc != nil {
+		return acc, true
+	}
+	return nil, false
 }
 
 // Exists reports whether the account is present.
@@ -256,7 +287,10 @@ func (s *StateDB) SetCode(addr types.Address, code []byte) {
 // GetState reads a storage word (zero word when unset).
 func (s *StateDB) GetState(addr types.Address, key types.Word) types.Word {
 	if acc, ok := s.get(addr); ok {
-		return acc.storage[key]
+		if v, ok := acc.storage[key]; ok {
+			return v
+		}
+		return acc.loadSlot(key)
 	}
 	return types.ZeroWord
 }
@@ -265,6 +299,14 @@ func (s *StateDB) GetState(addr types.Address, key types.Word) types.Word {
 func (s *StateDB) SetState(addr types.Address, key, value types.Word) {
 	acc := s.getOrCreate(addr)
 	prev, existed := acc.storage[key]
+	if !existed {
+		// On a lazy account the authoritative previous value may still
+		// live in the storage trie; the journal must capture it or a
+		// revert would delete a slot that was only ever overwritten.
+		if v := acc.loadSlot(key); !v.IsZero() {
+			prev, existed = v, true
+		}
+	}
 	if value.IsZero() {
 		delete(acc.storage, key)
 	} else {
@@ -364,6 +406,7 @@ func (s *StateDB) Copy() *StateDB {
 	cp := &StateDB{
 		accounts: make(map[types.Address]*account, len(s.accounts)),
 		accTrie:  s.accTrie.Copy(),
+		db:       s.db,
 	}
 	for addr, acc := range s.accounts {
 		if acc.deleted {
@@ -385,6 +428,7 @@ func (acc *account) copy() *account {
 		storage:  make(map[types.Word]types.Word, len(acc.storage)),
 		enc:      acc.enc,
 		codeHash: acc.codeHash,
+		lazy:     acc.lazy,
 	}
 	if acc.storageTrie != nil {
 		nacc.storageTrie = acc.storageTrie.Copy()

@@ -1,0 +1,285 @@
+// Package store provides the flat key-value layer that backs persisted
+// tries, code blobs, blocks and head pointers. Two implementations share
+// one interface: MemStore (a mutex-guarded map, for tests and ephemeral
+// nodes) and FileStore (a single append-only log with an in-memory
+// index, batched writes, and torn-tail salvage on reopen).
+//
+// The store is deliberately dumber than a real database: trie nodes are
+// content-addressed (key = Keccak of the value) so records are immutable
+// and an append log with last-write-wins replay is a correct index. The
+// only mutable keys are small pointers (the chain head), which simply
+// append a new record.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the flat-KV surface the state and chain layers commit
+// through. Writes arrive either singly (Put) or as a Batch flushed in
+// one append (Write); both are atomic with respect to Get.
+type Store interface {
+	// Get returns the value stored under key and whether it exists.
+	Get(key []byte) ([]byte, bool)
+	// Put stores a single key/value pair.
+	Put(key, value []byte) error
+	// Write applies every pair in the batch as one append.
+	Write(b *Batch) error
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// Batch accumulates key/value pairs for a single Write. It satisfies
+// trie.Writer so a trie commit can stage node encodings directly.
+type Batch struct {
+	pairs []kv
+	bytes int
+}
+
+type kv struct {
+	key, val []byte
+}
+
+// Put stages a pair. Key and value are copied, so callers may reuse
+// their buffers.
+func (b *Batch) Put(key, value []byte) {
+	k := make([]byte, len(key))
+	copy(k, key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	b.pairs = append(b.pairs, kv{k, v})
+	b.bytes += len(k) + len(v)
+}
+
+// Len returns the number of staged pairs.
+func (b *Batch) Len() int { return len(b.pairs) }
+
+// Size returns the staged payload bytes (keys + values).
+func (b *Batch) Size() int { return b.bytes }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.pairs = b.pairs[:0]; b.bytes = 0 }
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Get returns the value stored under key.
+func (s *MemStore) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	v, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put stores one pair.
+func (s *MemStore) Put(key, value []byte) error {
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.mu.Lock()
+	s.m[string(key)] = v
+	s.mu.Unlock()
+	return nil
+}
+
+// Write applies a batch.
+func (s *MemStore) Write(b *Batch) error {
+	s.mu.Lock()
+	for _, p := range b.pairs {
+		s.m[string(p.key)] = p.val
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Close is a no-op for the in-memory store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is an append-only log with a full in-memory index. Every
+// record is `uvarint(len key) || key || uvarint(len value) || value`;
+// reopen replays the log (last write wins) and truncates a torn tail
+// left by a crash mid-append. Write batches many records into a single
+// file append; Sync is explicit so block-boundary commits can group
+// durability points.
+type FileStore struct {
+	mu   sync.RWMutex
+	m    map[string][]byte
+	f    *os.File
+	path string
+}
+
+// logMagic heads every store file; it versions the record format.
+var logMagic = []byte("SKV1\n")
+
+// ErrNotStoreFile marks a file that does not start with the store magic.
+var ErrNotStoreFile = errors.New("store: not a store file")
+
+// FileName is the log's name inside a datadir.
+const FileName = "sereth.kv"
+
+// OpenFile opens (or creates) the log under dir and replays it into the
+// index, truncating any torn final record.
+func OpenFile(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &FileStore{m: make(map[string][]byte), f: f, path: path}
+	if err := s.replay(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay rebuilds the index from the log. A clean file ends exactly at
+// a record boundary; anything else (a torn append from a crash) is
+// truncated away so the next append lands on a valid tail.
+func (s *FileStore) replay() error {
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := s.f.Write(logMagic); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return nil
+	}
+	if len(data) < len(logMagic) || string(data[:len(logMagic)]) != string(logMagic) {
+		return ErrNotStoreFile
+	}
+	off := len(logMagic)
+	good := off
+	for off < len(data) {
+		key, val, next, ok := readRecord(data, off)
+		if !ok {
+			break
+		}
+		s.m[string(key)] = val
+		off = next
+		good = off
+	}
+	if good != len(data) {
+		if err := s.f.Truncate(int64(good)); err != nil {
+			return fmt.Errorf("store: salvage: %w", err)
+		}
+	}
+	if _, err := s.f.Seek(int64(good), io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// readRecord parses one record at off; ok is false when the tail is
+// truncated mid-record.
+func readRecord(data []byte, off int) (key, val []byte, next int, ok bool) {
+	klen, n := binary.Uvarint(data[off:])
+	if n <= 0 || uint64(len(data)-off-n) < klen {
+		return nil, nil, 0, false
+	}
+	off += n
+	key = data[off : off+int(klen)]
+	off += int(klen)
+	vlen, n := binary.Uvarint(data[off:])
+	if n <= 0 || uint64(len(data)-off-n) < vlen {
+		return nil, nil, 0, false
+	}
+	off += n
+	val = data[off : off+int(vlen)]
+	return key, val, off + int(vlen), true
+}
+
+func appendRecord(buf, key, val []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(key)))]...)
+	buf = append(buf, key...)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(val)))]...)
+	return append(buf, val...)
+}
+
+// Get returns the value stored under key.
+func (s *FileStore) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	v, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Put appends one record and indexes it.
+func (s *FileStore) Put(key, value []byte) error {
+	b := &Batch{}
+	b.Put(key, value)
+	return s.Write(b)
+}
+
+// Write appends the whole batch as one file write, then publishes it to
+// the index. Readers never observe a partially applied batch.
+func (s *FileStore) Write(b *Batch) error {
+	if len(b.pairs) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, b.bytes+8*len(b.pairs))
+	for _, p := range b.pairs {
+		buf = appendRecord(buf, p.key, p.val)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, p := range b.pairs {
+		s.m[string(p.key)] = p.val
+	}
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *FileStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Sync forces the log to stable storage.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		_ = s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Path returns the log file's path (testing/ops aid).
+func (s *FileStore) Path() string { return s.path }

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testBoth(t *testing.T, fn func(t *testing.T, s Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) { fn(t, NewMem()) })
+	t.Run("file", func(t *testing.T) {
+		s, err := OpenFile(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = s.Close() }()
+		fn(t, s)
+	})
+}
+
+func TestPutGet(t *testing.T) {
+	testBoth(t, func(t *testing.T, s Store) {
+		if _, ok := s.Get([]byte("missing")); ok {
+			t.Fatal("missing key found")
+		}
+		if err := s.Put([]byte("a"), []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+		v, ok := s.Get([]byte("a"))
+		if !ok || string(v) != "1" {
+			t.Fatalf("got %q ok=%v", v, ok)
+		}
+		// Overwrite: last write wins.
+		if err := s.Put([]byte("a"), []byte("2")); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := s.Get([]byte("a")); string(v) != "2" {
+			t.Fatalf("overwrite lost: %q", v)
+		}
+		// Empty value is storable and distinct from absent.
+		if err := s.Put([]byte("empty"), nil); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := s.Get([]byte("empty")); !ok || len(v) != 0 {
+			t.Fatalf("empty value: %q ok=%v", v, ok)
+		}
+	})
+}
+
+func TestBatchWrite(t *testing.T) {
+	testBoth(t, func(t *testing.T, s Store) {
+		b := &Batch{}
+		for i := 0; i < 100; i++ {
+			b.Put([]byte(fmt.Sprintf("k%03d", i)), bytes.Repeat([]byte{byte(i)}, i))
+		}
+		if b.Len() != 100 {
+			t.Fatalf("batch len %d", b.Len())
+		}
+		if err := s.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			v, ok := s.Get([]byte(fmt.Sprintf("k%03d", i)))
+			if !ok || len(v) != i {
+				t.Fatalf("k%03d: ok=%v len=%d", i, ok, len(v))
+			}
+		}
+		b.Reset()
+		if b.Len() != 0 || b.Size() != 0 {
+			t.Fatal("reset did not clear")
+		}
+	})
+}
+
+func TestBatchCopiesBuffers(t *testing.T) {
+	s := NewMem()
+	b := &Batch{}
+	key := []byte("k")
+	val := []byte("v")
+	b.Put(key, val)
+	key[0] = 'x'
+	val[0] = 'x'
+	if err := s.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("batch aliased caller buffers: %q ok=%v", v, ok)
+	}
+}
+
+func TestFileReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Batch{}
+	b.Put([]byte("head"), []byte("one"))
+	b.Put([]byte("node"), []byte("enc"))
+	if err := s.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("head"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Close() }()
+	if v, _ := r.Get([]byte("head")); string(v) != "two" {
+		t.Fatalf("replay lost overwrite: %q", v)
+	}
+	if v, _ := r.Get([]byte("node")); string(v) != "enc" {
+		t.Fatalf("replay lost node: %q", v)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestTornTailSalvage(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("good"), []byte("record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a record header with a truncated value.
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{4, 't', 'o', 'r', 'n', 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenFile(dir)
+	if err != nil {
+		t.Fatalf("salvage failed: %v", err)
+	}
+	if v, ok := r.Get([]byte("good")); !ok || string(v) != "record" {
+		t.Fatalf("good record lost: %q ok=%v", v, ok)
+	}
+	if _, ok := r.Get([]byte("torn")); ok {
+		t.Fatal("torn record survived")
+	}
+	// The tail is clean again: new appends survive another reopen.
+	if err := r.Put([]byte("after"), []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r2.Close() }()
+	if v, _ := r2.Get([]byte("after")); string(v) != "ok" {
+		t.Fatalf("post-salvage append lost: %q", v)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, FileName), []byte("not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(dir); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

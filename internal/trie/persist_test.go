@@ -1,0 +1,233 @@
+package trie
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sereth/internal/store"
+	"sereth/internal/types"
+)
+
+func TestCommitReopenRoundTrip(t *testing.T) {
+	db := store.NewMem()
+	tr := New()
+	kvs := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := fmt.Sprintf("value-%d", i*i)
+		tr.Update([]byte(k), []byte(v))
+		kvs[k] = v
+	}
+	root := tr.RootHash()
+	b := &store.Batch{}
+	n := tr.Commit(b)
+	if n == 0 {
+		t.Fatal("commit wrote nothing")
+	}
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+
+	re := NewFromRoot(db, root)
+	if re.RootHash() != root {
+		t.Fatalf("reopened root %x != %x", re.RootHash(), root)
+	}
+	for k, v := range kvs {
+		if got := re.Get([]byte(k)); string(got) != v {
+			t.Fatalf("Get(%q) = %q, want %q", k, got, v)
+		}
+	}
+	if re.Get([]byte("absent")) != nil {
+		t.Fatal("absent key resolved to a value")
+	}
+	if re.Len() != len(kvs) {
+		t.Fatalf("Len = %d, want %d", re.Len(), len(kvs))
+	}
+}
+
+func TestCommitIsIncremental(t *testing.T) {
+	db := store.NewMem()
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Update([]byte(fmt.Sprintf("key-%03d", i)), []byte{byte(i), 1})
+	}
+	tr.RootHash()
+	b := &store.Batch{}
+	first := tr.Commit(b)
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second commit with no mutations writes nothing.
+	b.Reset()
+	if n := tr.Commit(b); n != 0 {
+		t.Fatalf("idle recommit wrote %d nodes", n)
+	}
+
+	// One update re-stores only the path to that key.
+	tr.Update([]byte("key-050"), []byte("changed"))
+	tr.RootHash()
+	b.Reset()
+	delta := tr.Commit(b)
+	if delta == 0 || delta >= first {
+		t.Fatalf("dirty-path commit wrote %d nodes (full trie was %d)", delta, first)
+	}
+}
+
+func TestReopenedTrieMutates(t *testing.T) {
+	db := store.NewMem()
+	tr := New()
+	for i := 0; i < 64; i++ {
+		tr.Update([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i + 1)})
+	}
+	root := tr.RootHash()
+	b := &store.Batch{}
+	tr.Commit(b)
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the reopened trie and an equivalent in-memory twin; roots
+	// must track each other bit for bit.
+	re := NewFromRoot(db, root)
+	for i := 0; i < 64; i += 3 {
+		k := []byte(fmt.Sprintf("k%02d", i))
+		re.Update(k, []byte("new"))
+		tr.Update(k, []byte("new"))
+	}
+	re.Delete([]byte("k01"))
+	tr.Delete([]byte("k01"))
+	if re.RootHash() != tr.RootHash() {
+		t.Fatalf("mutated reopened root %x != in-memory %x", re.RootHash(), tr.RootHash())
+	}
+
+	// Incremental commits from the reopened side reopen again cleanly.
+	b.Reset()
+	re.Commit(b)
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	re2 := NewFromRoot(db, re.RootHash())
+	if got := re2.Get([]byte("k03")); string(got) != "new" {
+		t.Fatalf("second reopen Get = %q", got)
+	}
+	if got := re2.Get([]byte("k01")); got != nil {
+		t.Fatalf("deleted key resurfaced: %q", got)
+	}
+}
+
+// TestPersistDifferential drives random update/delete/commit/reopen
+// cycles against a plain in-memory trie and a store-backed one; every
+// root and every lookup must agree at every step.
+func TestPersistDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := store.NewMem()
+	mem := New()
+	persisted := New()
+	keys := make([][]byte, 40)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%02d", i))
+	}
+	live := map[string][]byte{}
+
+	for step := 0; step < 500; step++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(4) == 0 {
+			mem.Delete(k)
+			persisted.Delete(k)
+			delete(live, string(k))
+		} else {
+			v := make([]byte, 1+rng.Intn(40))
+			rng.Read(v)
+			mem.Update(k, v)
+			persisted.Update(k, v)
+			live[string(k)] = v
+		}
+		if mem.RootHash() != persisted.RootHash() {
+			t.Fatalf("step %d: root divergence", step)
+		}
+		if step%37 == 0 {
+			// Commit and swap in a freshly reopened trie to force hashNode
+			// paths through subsequent mutations.
+			b := &store.Batch{}
+			persisted.Commit(b)
+			if err := db.Write(b); err != nil {
+				t.Fatal(err)
+			}
+			persisted = NewFromRoot(db, persisted.RootHash())
+			for ks, v := range live {
+				if got := persisted.Get([]byte(ks)); !bytes.Equal(got, v) {
+					t.Fatalf("step %d: Get(%q) = %x, want %x", step, ks, got, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSecureTrieCommitReopen(t *testing.T) {
+	db := store.NewMem()
+	st := NewSecure()
+	addr := types.Address{5: 0xaa}
+	st.Update(addr[:], []byte("account-body"))
+	st.Update([]byte("other"), []byte("x"))
+	root := st.RootHash()
+	b := &store.Batch{}
+	st.Commit(b)
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+
+	re := NewSecureFromRoot(db, root)
+	if got := re.Get(addr[:]); string(got) != "account-body" {
+		t.Fatalf("secure reopen Get = %q", got)
+	}
+	if re.RootHash() != root {
+		t.Fatal("secure reopen root mismatch")
+	}
+}
+
+func TestSmallRootIsStored(t *testing.T) {
+	// A one-entry trie's root encoding is < 32 bytes; it must still be
+	// stored by hash so the root alone reopens it.
+	db := store.NewMem()
+	tr := New()
+	tr.Update([]byte{0x01}, []byte{0x02})
+	root := tr.RootHash()
+	b := &store.Batch{}
+	if n := tr.Commit(b); n != 1 {
+		t.Fatalf("commit wrote %d nodes, want 1", n)
+	}
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	re := NewFromRoot(db, root)
+	if got := re.Get([]byte{0x01}); len(got) != 1 || got[0] != 0x02 {
+		t.Fatalf("small-root reopen Get = %x", got)
+	}
+}
+
+func TestEmptyRootReopens(t *testing.T) {
+	re := NewFromRoot(store.NewMem(), EmptyRoot)
+	if re.RootHash() != EmptyRoot {
+		t.Fatal("empty reopen root mismatch")
+	}
+	if re.Get([]byte("x")) != nil {
+		t.Fatal("empty trie returned a value")
+	}
+	re.Update([]byte("x"), []byte("y"))
+	if string(re.Get([]byte("x"))) != "y" {
+		t.Fatal("empty reopen not mutable")
+	}
+}
+
+func TestMissingNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookup through a hollow store did not panic")
+		}
+	}()
+	re := NewFromRoot(store.NewMem(), types.Hash{1, 2, 3})
+	re.Get([]byte("anything"))
+}

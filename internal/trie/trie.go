@@ -31,21 +31,27 @@ type Trie struct {
 	// hash caches the root hash of the current root node; any mutation
 	// clears it.
 	hash *types.Hash
+	// db resolves by-hash node references for tries opened from a
+	// persisted root (NewFromRoot); nil for purely in-memory tries.
+	db NodeReader
 }
 
 // node is one of: *shortNode (leaf/extension), *fullNode (branch),
-// valueNode (stored value). nil means the empty subtrie.
+// valueNode (stored value), hashNode (an unresolved reference into a
+// node store). nil means the empty subtrie.
 type node interface{}
 
 // nodeCache memoizes a node's canonical encoding. enc is the node's RLP
 // encoding (nil until computed); hash is Keccak(enc), valid only when
 // hashed is set (computed lazily and only for encodings >= 32 bytes,
-// which are referenced by hash per the MPT spec). Path copies MUST reset
-// the cache — see insert/deleteNode.
+// which are referenced by hash per the MPT spec). stored marks nodes
+// whose encoding already lives in a node store, so Commit stops walking
+// there. Path copies MUST reset the cache — see insert/deleteNode.
 type nodeCache struct {
 	enc    []byte
 	hash   types.Hash
 	hashed bool
+	stored bool
 }
 
 type shortNode struct {
@@ -70,9 +76,15 @@ func New() *Trie { return &Trie{} }
 // materialized first (call RootHash before Copy): hashing fills node
 // caches in place, and only nodes created after the copy — private to
 // their creator — are ever written to afterwards.
-func (t *Trie) Copy() *Trie { return &Trie{root: t.root, hash: t.hash} }
+func (t *Trie) Copy() *Trie { return &Trie{root: t.root, hash: t.hash, db: t.db} }
 
 // Get returns the value stored under key, or nil if absent.
+//
+// On a trie opened from a persisted root, unresolved references along
+// the path are fetched from the store transiently — the resolved node is
+// NOT written back into the tree, so concurrent readers sharing nodes
+// via Copy never race. Durable resolution happens on the mutating ops,
+// which only touch private path copies.
 func (t *Trie) Get(key []byte) []byte {
 	n := t.root
 	k := keyToNibbles(key)
@@ -82,6 +94,8 @@ func (t *Trie) Get(key []byte) []byte {
 			return nil
 		case valueNode:
 			return cur
+		case hashNode:
+			n = mustResolve(t.db, cur)
 		case *shortNode:
 			if len(k) < len(cur.key) || !bytes.Equal(k[:len(cur.key)], cur.key) {
 				return nil
@@ -108,21 +122,26 @@ func (t *Trie) Update(key, value []byte) {
 	t.hash = nil
 	k := keyToNibbles(key)
 	if len(value) == 0 {
-		t.root = deleteNode(t.root, k)
+		t.root = deleteNode(t.db, t.root, k)
 		return
 	}
 	v := make(valueNode, len(value))
 	copy(v, value)
-	t.root = insert(t.root, k, v)
+	t.root = insert(t.db, t.root, k, v)
 }
 
 // Delete removes key from the trie.
 func (t *Trie) Delete(key []byte) {
 	t.hash = nil
-	t.root = deleteNode(t.root, keyToNibbles(key))
+	t.root = deleteNode(t.db, t.root, keyToNibbles(key))
 }
 
-func insert(n node, k []byte, v valueNode) node {
+func insert(db NodeReader, n node, k []byte, v valueNode) node {
+	if h, ok := n.(hashNode); ok {
+		// Mutations land in a fresh path copy, so resolving in place here
+		// is private to this insert.
+		n = mustResolve(db, h)
+	}
 	if len(k) == 0 {
 		switch cur := n.(type) {
 		case *fullNode:
@@ -153,14 +172,14 @@ func insert(n node, k []byte, v valueNode) node {
 		// Existing value at this exact prefix: push it into a branch.
 		branch := &fullNode{}
 		branch.children[16] = cur
-		branch.children[k[0]] = insert(nil, k[1:], v)
+		branch.children[k[0]] = insert(db, nil, k[1:], v)
 		return branch
 	case *shortNode:
 		match := commonPrefix(k, cur.key)
 		if match == len(cur.key) {
 			cp := *cur
 			cp.cache = nodeCache{}
-			cp.val = insert(cur.val, k[match:], v)
+			cp.val = insert(db, cur.val, k[match:], v)
 			return &cp
 		}
 		// Split: branch at the divergence point.
@@ -177,7 +196,7 @@ func insert(n node, k []byte, v valueNode) node {
 		if len(newKey) == 0 {
 			branch.children[16] = v
 		} else {
-			branch.children[newKey[0]] = insert(nil, newKey[1:], v)
+			branch.children[newKey[0]] = insert(db, nil, newKey[1:], v)
 		}
 		if match == 0 {
 			return branch
@@ -186,14 +205,17 @@ func insert(n node, k []byte, v valueNode) node {
 	case *fullNode:
 		cp := *cur
 		cp.cache = nodeCache{}
-		cp.children[k[0]] = insert(cur.children[k[0]], k[1:], v)
+		cp.children[k[0]] = insert(db, cur.children[k[0]], k[1:], v)
 		return &cp
 	default:
 		return n
 	}
 }
 
-func deleteNode(n node, k []byte) node {
+func deleteNode(db NodeReader, n node, k []byte) node {
+	if h, ok := n.(hashNode); ok {
+		n = mustResolve(db, h)
+	}
 	switch cur := n.(type) {
 	case nil:
 		return nil
@@ -206,7 +228,7 @@ func deleteNode(n node, k []byte) node {
 		if len(k) < len(cur.key) || !bytes.Equal(k[:len(cur.key)], cur.key) {
 			return cur
 		}
-		child := deleteNode(cur.val, k[len(cur.key):])
+		child := deleteNode(db, cur.val, k[len(cur.key):])
 		if child == nil {
 			return nil
 		}
@@ -225,9 +247,9 @@ func deleteNode(n node, k []byte) node {
 		if len(k) == 0 {
 			cp.children[16] = nil
 		} else {
-			cp.children[k[0]] = deleteNode(cur.children[k[0]], k[1:])
+			cp.children[k[0]] = deleteNode(db, cur.children[k[0]], k[1:])
 		}
-		return collapse(&cp)
+		return collapse(db, &cp)
 	default:
 		return n
 	}
@@ -235,7 +257,10 @@ func deleteNode(n node, k []byte) node {
 
 // collapse reduces a branch with fewer than two live slots back into a
 // short node (or nil), keeping the trie canonical so roots stay unique.
-func collapse(branch *fullNode) node {
+// A lone surviving child that is still an unresolved reference must be
+// fetched first: if it turns out to be a short node its key has to merge
+// with the branch nibble, and skipping that would change the root.
+func collapse(db NodeReader, branch *fullNode) node {
 	live := -1
 	count := 0
 	for i, c := range branch.children {
@@ -252,6 +277,9 @@ func collapse(branch *fullNode) node {
 			return branch.children[16]
 		}
 		child := branch.children[live]
+		if h, ok := child.(hashNode); ok {
+			child = mustResolve(db, h)
+		}
 		if sn, ok := child.(*shortNode); ok {
 			merged := append([]byte{byte(live)}, sn.key...)
 			return &shortNode{key: merged, val: sn.val}
@@ -282,6 +310,10 @@ func commonPrefix(a, b []byte) int {
 func (t *Trie) RootHash() types.Hash {
 	if t.root == nil {
 		return EmptyRoot
+	}
+	if h, ok := t.root.(hashNode); ok {
+		// An untouched persisted trie is already its own commitment.
+		return types.Hash(h)
 	}
 	if t.hash == nil {
 		h := types.Keccak(encoding(t.root))
@@ -347,6 +379,11 @@ func (fn *fullNode) item() rlp.Item {
 // Keccak hash (memoized alongside the encoding); smaller encodings are
 // spliced in verbatim.
 func childRef(n node) rlp.Item {
+	// An unresolved reference already IS the by-hash ref — no store
+	// round-trip needed to re-embed it in a fresh parent.
+	if h, ok := n.(hashNode); ok {
+		return rlp.String(h[:])
+	}
 	enc := encoding(n)
 	if len(enc) < 32 {
 		return rlp.Raw(enc)
@@ -404,7 +441,7 @@ func keyToNibbles(key []byte) []byte {
 // Keys returns all keys in the trie in sorted order (testing/debug aid).
 func (t *Trie) Keys() [][]byte {
 	var keys [][]byte
-	walk(t.root, nil, func(nibbles []byte, _ []byte) {
+	walk(t.db, t.root, nil, func(nibbles []byte, _ []byte) {
 		keys = append(keys, nibblesToKey(nibbles))
 	})
 	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
@@ -414,21 +451,23 @@ func (t *Trie) Keys() [][]byte {
 // Len returns the number of stored key/value pairs.
 func (t *Trie) Len() int {
 	n := 0
-	walk(t.root, nil, func([]byte, []byte) { n++ })
+	walk(t.db, t.root, nil, func([]byte, []byte) { n++ })
 	return n
 }
 
-func walk(n node, prefix []byte, visit func(nibbles, value []byte)) {
+func walk(db NodeReader, n node, prefix []byte, visit func(nibbles, value []byte)) {
 	switch cur := n.(type) {
 	case nil:
 	case valueNode:
 		visit(prefix, cur)
+	case hashNode:
+		walk(db, mustResolve(db, cur), prefix, visit)
 	case *shortNode:
-		walk(cur.val, append(append([]byte{}, prefix...), cur.key...), visit)
+		walk(db, cur.val, append(append([]byte{}, prefix...), cur.key...), visit)
 	case *fullNode:
 		for i := 0; i < 16; i++ {
 			if cur.children[i] != nil {
-				walk(cur.children[i], append(append([]byte{}, prefix...), byte(i)), visit)
+				walk(db, cur.children[i], append(append([]byte{}, prefix...), byte(i)), visit)
 			}
 		}
 		if cur.children[16] != nil {
