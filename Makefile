@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-eta chaos-smoke parallel-smoke serving-smoke
+.PHONY: all build test race vet bench bench-eta chaos-smoke parallel-smoke serving-smoke crash-smoke
 
 all: vet build test
 
@@ -40,6 +40,19 @@ parallel-smoke:
 	$(GO) test -race -run 'TestSpecView' ./internal/statedb
 	$(GO) test -race -run 'TestParallel|FuzzParallelDifferential' ./internal/chain
 	$(GO) test -race -run 'TestParallelExec' ./internal/scenarios
+
+# crash-smoke runs the crash-consistency suite under the race detector:
+# storage fault injection and salvage, the chain-level crash-point and
+# bit-flip recovery sweeps (-short: 3 seeds per point), snapshot
+# corruption rejection, the hardened RPC surface, and the sim crash
+# scenario family against its honest twins, ending with a quick
+# end-to-end crash experiment.
+crash-smoke:
+	$(GO) test -race ./internal/store
+	$(GO) test -race -short -run 'TestCrash|TestBitFlip|TestOpenFallsBack|TestInjectedWriteFailure|TestOpenSnapshot' ./internal/chain
+	$(GO) test -race -run 'TestPanic|TestMaxInFlight|TestShed|TestShutdown|TestHealth' ./internal/rpc
+	$(GO) test -race -run 'TestCrash' ./internal/sim
+	$(GO) run -race ./cmd/serethsim -experiment crash -quick -runs 2
 
 # serving-smoke runs the persistence and serving-tier suite under the
 # race detector: the store, trie/state persistence and snapshot

@@ -55,6 +55,12 @@ type Record struct {
 	EtaDrop     float64 `json:"eta_drop,omitempty"`
 	ResyncP50Ms float64 `json:"resync_p50_ms,omitempty"`
 	ResyncP90Ms float64 `json:"resync_p90_ms,omitempty"`
+	// crash/ rows: kills injected, restarts that found a durable head on
+	// disk, and bytes truncated as torn tail during salvage (the resync
+	// percentiles carry the crash-recovery latency: salvage + catch-up).
+	Crashes           int    `json:"crashes,omitempty"`
+	RecoveredFromDisk int    `json:"recovered_from_disk,omitempty"`
+	SalvageTornBytes  uint64 `json:"salvage_torn_bytes,omitempty"`
 	// exec/parallel-* rows: wall-time ratio of the sequential oracle
 	// replaying the same body (sequential ns/op ÷ this row's ns/op).
 	Speedup float64 `json:"speedup,omitempty"`
@@ -138,6 +144,11 @@ func main() {
 	for _, r := range chaosRows() {
 		add(r)
 	}
+	for _, r := range crashRows() {
+		add(r)
+	}
+	add(fileStoreWrite())
+	add(fileStoreCompact())
 	for _, r := range servingRows() {
 		add(r)
 	}
@@ -410,6 +421,118 @@ func chaosRows() []Record {
 		out = append(out, rec)
 	}
 	return out
+}
+
+// crashRows runs every crash-consistency variant over two seeds: a
+// persisting peer is hard-killed mid-commit (its unsynced log tail cut
+// at a random byte), salvages its log on restart, reopens on a durable
+// verified head, and catches up over gossip. η is reported against the
+// honest twin; the resync percentiles carry the recovery latency.
+func crashRows() []Record {
+	seeds := sim.DefaultSeeds(2)
+	var out []Record
+	for _, v := range sim.CrashVariants {
+		start := time.Now()
+		points, err := sim.RunCrash([]string{v.Name}, seeds, nil)
+		if err != nil || len(points) != 1 {
+			fmt.Fprintf(os.Stderr, "serethbench: %s: %v\n", v.Name, err)
+			os.Exit(1)
+		}
+		p := points[0]
+		out = append(out, Record{
+			Name:              "crash/" + strings.TrimPrefix(v.Name, "crash_"),
+			NsPerOp:           float64(time.Since(start).Nanoseconds()) / float64(2*len(seeds)),
+			Eta:               p.Eta.Mean,
+			HasEta:            true,
+			HonestEta:         p.HonestEta.Mean,
+			EtaDrop:           p.EtaDrop,
+			ResyncP50Ms:       p.RecoveryP50Ms,
+			ResyncP90Ms:       p.RecoveryP90Ms,
+			Crashes:           p.Crashes,
+			RecoveredFromDisk: p.Recovered,
+			SalvageTornBytes:  p.SalvageTornBytes,
+		})
+	}
+	return out
+}
+
+// fileStoreWrite measures the steady-state batch append path of the
+// persistent log — the pooled scratch buffer keeps it allocation-free.
+func fileStoreWrite() Record {
+	dir, err := os.MkdirTemp("", "serethbench-store")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serethbench: store dir:", err)
+		os.Exit(1)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	s, err := store.OpenFile(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serethbench: store:", err)
+		os.Exit(1)
+	}
+	defer func() { _ = s.Close() }()
+	s.CompactMinBytes = 0 // keep compaction out of the measurement
+	batch := &store.Batch{}
+	for i := 0; i < 100; i++ {
+		batch.Put([]byte(fmt.Sprintf("key-%03d", i)), bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	if err := s.Write(batch); err != nil { // warm the scratch buffer
+		fmt.Fprintln(os.Stderr, "serethbench: store warmup:", err)
+		os.Exit(1)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := s.Write(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return benchRecord("store/filestore-write-100rec", res)
+}
+
+// fileStoreCompact measures a full log rewrite over a store where dead
+// bytes dominate: 1000 keys overwritten ten times each, so compaction
+// drops ~90% of the log.
+func fileStoreCompact() Record {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "serethbench-compact")
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := store.OpenFile(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.CompactMinBytes = 0 // only the explicit call below compacts
+			val := bytes.Repeat([]byte{0xab}, 128)
+			for round := 0; round < 10; round++ {
+				batch := &store.Batch{}
+				for k := 0; k < 1000; k++ {
+					batch.Put([]byte(fmt.Sprintf("key-%04d", k)), val)
+				}
+				if err := s.Write(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			stats, err := s.Compact()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if stats.Records != 1000 || stats.BytesAfter >= stats.BytesBefore {
+				b.Fatalf("compact stats %+v", stats)
+			}
+			_ = s.Close()
+			_ = os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+	return benchRecord("store/filestore-compact-1k-live", res)
 }
 
 // servingContract is the managed-variable contract address of the

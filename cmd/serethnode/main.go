@@ -8,6 +8,11 @@
 //	serethnode -datadir /var/lib/sereth            # durable state, survives restarts
 //	serethnode -snapshot head.snap                 # fast-bootstrap from an exported snapshot
 //	serethnode -datadir d -export-snapshot head.snap  # dump head state on shutdown
+//	serethnode -datadir d -compact                 # rewrite the log to live records, then exit
+//
+// SIGINT/SIGTERM shut the node down cleanly: the miner stops, in-flight
+// RPC requests drain, the store is flushed and closed, and the final
+// head is printed.
 //
 // Query it with any JSON-RPC client, e.g.:
 //
@@ -21,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"sereth/internal/asm"
@@ -53,8 +59,16 @@ func run(args []string) error {
 	datadir := fs.String("datadir", "", "directory for the persistent state store; a restart recovers the head without replay")
 	snapshot := fs.String("snapshot", "", "bootstrap from an exported state snapshot (ignored when -datadir already has a head)")
 	exportSnapshot := fs.String("export-snapshot", "", "write a state snapshot of the head to this path on clean shutdown")
+	compact := fs.Bool("compact", false, "compact the -datadir log down to live records, print the stats, and exit")
+	maxInFlight := fs.Int("max-inflight", 0, "cap concurrently served RPC requests; excess requests are shed with 503 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compact {
+		if *datadir == "" {
+			return fmt.Errorf("-compact requires -datadir")
+		}
+		return compactDatadir(*datadir)
 	}
 
 	mode := node.ModeSereth
@@ -99,6 +113,10 @@ func run(args []string) error {
 			return fmt.Errorf("open datadir: %w", err)
 		}
 		defer func() { _ = kv.Close() }()
+		if rep := kv.Salvage(); rep.Dirty() {
+			fmt.Printf("datadir salvaged: torn_tail=%dB corrected=%d quarantined=%d (%dB) tmp_removed=%v\n",
+				rep.TornBytes, rep.Corrected, rep.Quarantined, rep.QuarantinedBytes, rep.TmpRemoved)
+		}
 		nodeCfg.Store = kv
 	}
 	if *snapshot != "" {
@@ -116,9 +134,10 @@ func run(args []string) error {
 	fmt.Printf("node up: mode=%s miner=%s contract=%s boot=%s height=%d\n",
 		mode, *minerStr, contract.Hex(), n.BootSource(), n.Chain().Height())
 
-	server := &http.Server{Addr: *listen, Handler: rpc.NewServer(n, contract)}
+	rpcSrv := rpc.NewServer(n, contract, rpc.WithMaxInFlight(*maxInFlight))
+	server := &http.Server{Addr: *listen, Handler: rpcSrv}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// Mining loop.
@@ -159,19 +178,51 @@ func run(args []string) error {
 		<-minerDone
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		fmt.Println("\nshutting down: stopping miner, draining RPC")
+		<-minerDone
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = server.Shutdown(shutdownCtx)
-		<-minerDone
 		if *exportSnapshot != "" {
 			if err := writeSnapshotFile(n, *exportSnapshot); err != nil {
 				return fmt.Errorf("export snapshot: %w", err)
 			}
 			fmt.Printf("snapshot written to %s\n", *exportSnapshot)
 		}
-		fmt.Println("\nshut down cleanly")
+		// Drain whatever the HTTP layer did not finish, then flush and
+		// close the store — after this every adopted block is durable.
+		if err := rpcSrv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		head := n.Chain().Head()
+		fmt.Printf("shut down cleanly: head=%d hash=%s\n", head.Number(), head.Hash().Hex()[:18])
 		return nil
 	}
+}
+
+// compactDatadir opens the store (salvaging if needed), rewrites the
+// log down to live records, and reports the savings.
+func compactDatadir(dir string) error {
+	kv, err := store.OpenFile(dir)
+	if err != nil {
+		return fmt.Errorf("open datadir: %w", err)
+	}
+	if rep := kv.Salvage(); rep.Dirty() {
+		fmt.Printf("datadir salvaged: torn_tail=%dB corrected=%d quarantined=%d (%dB) tmp_removed=%v\n",
+			rep.TornBytes, rep.Corrected, rep.Quarantined, rep.QuarantinedBytes, rep.TmpRemoved)
+	}
+	stats, err := kv.Compact()
+	if err != nil {
+		_ = kv.Close()
+		return fmt.Errorf("compact: %w", err)
+	}
+	if err := kv.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	saved := stats.BytesBefore - stats.BytesAfter
+	fmt.Printf("compacted %s: %d live records, %d -> %d bytes (%d reclaimed)\n",
+		dir, stats.Records, stats.BytesBefore, stats.BytesAfter, saved)
+	return nil
 }
 
 // writeSnapshotFile dumps the node's head state snapshot to path. Note

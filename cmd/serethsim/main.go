@@ -4,9 +4,11 @@
 // sanity check, the ablations catalogued in DESIGN.md §3, and the
 // sustained-overload mempool-eviction family, and the burst-submission
 // family (buys shipped through the batched admission + gossip
-// pipeline), and the chaos fault-injection family (churn, partitions,
+// pipeline), the chaos fault-injection family (churn, partitions,
 // lossy links, and adversarial actors, each measured against an honest
-// twin at the same seeds). The -peers/-clients/-topology/-degree flags
+// twin at the same seeds), and the crash-consistency family (persisting
+// peers hard-killed mid-commit that must salvage their log, reopen on a
+// durable head, and catch up). The -peers/-clients/-topology/-degree flags
 // rescale every experiment from the paper's 3-peer rig to an N-peer
 // population over an arbitrary gossip graph.
 //
@@ -36,7 +38,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("serethsim", flag.ContinueOnError)
 	experiment := fs.String("experiment", "figure2",
-		"one of: figure2, sequential, participation, gossip, interval, extendheads, overload, burst, chaos, all")
+		"one of: figure2, sequential, participation, gossip, interval, extendheads, overload, burst, chaos, crash, all")
 	runs := fs.Int("runs", 10, "seeded runs per data point")
 	quick := fs.Bool("quick", false, "smaller sweep for a fast check")
 	peers := fs.Int("peers", 0, "total peer count (miners + clients); 0 keeps the paper's 3-peer rig")
@@ -89,9 +91,10 @@ func run(args []string) error {
 		"chaos": func(shape sim.Shape, seeds []int64, quick bool) error {
 			return runChaos(shape, seeds, quick, chaosNames)
 		},
+		"crash": runCrash,
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads", "overload", "burst", "chaos"} {
+		for _, name := range []string{"figure2", "sequential", "participation", "gossip", "interval", "extendheads", "overload", "burst", "chaos", "crash"} {
 			fmt.Printf("\n=== %s ===\n", name)
 			if err := experiments[name](shape, seeds, *quick); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -300,6 +303,32 @@ func runChaos(shape sim.Shape, seeds []int64, quick bool, names []string) error 
 			fmt.Printf("%-16s attack txs sent=%d included=%d succeeded=%d  forged blocks accepted=%d\n",
 				"", p.AttackSent, p.AttackIncluded, p.AttackSucceeded, p.ForgedAccepted)
 		}
+	}
+	return nil
+}
+
+func runCrash(shape sim.Shape, seeds []int64, quick bool) error {
+	var names []string
+	if quick {
+		if len(seeds) > 2 {
+			seeds = seeds[:2]
+		}
+		names = []string{"crash_single", "crash_sync1"}
+	}
+	points, err := sim.RunCrash(names, seeds, func(line string) {
+		fmt.Println(line)
+	}, shape)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ncrash family: hard kills mid-commit, salvage + reopen + gossip catch-up, vs the honest twin")
+	for _, p := range points {
+		fmt.Printf("%-18s η=%.3f ±%.3f  honest=%.3f  drop=%+.3f  crashes=%d  recovered-from-disk=%d  converged=%v\n",
+			p.Variant, p.Eta.Mean, p.Eta.CI90, p.HonestEta.Mean, p.EtaDrop,
+			p.Crashes, p.Recovered, p.Converged)
+		fmt.Printf("%-18s recovery p50=%.0fms p90=%.0fms  salvage: torn=%dB quarantined=%d corrected=%d\n",
+			"", p.RecoveryP50Ms, p.RecoveryP90Ms,
+			p.SalvageTornBytes, p.SalvageQuarantined, p.SalvageCorrected)
 	}
 	return nil
 }

@@ -70,6 +70,11 @@ type Config struct {
 	// bit-identical either way — persistence only mirrors what the
 	// in-memory tries already committed to).
 	Store store.Store
+	// SyncEvery, with a Store attached, forces the store to stable
+	// storage (Sync) after every Nth adopted block, bounding how much a
+	// crash can lose to an unsynced tail. 0 never syncs explicitly
+	// (Close still flushes).
+	SyncEvery int
 }
 
 // DefaultConfig mirrors the paper's private-net parameterization: blocks

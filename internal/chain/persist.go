@@ -61,7 +61,15 @@ func (c *Chain) persistLocked(block *types.Block, post *statedb.StateDB) error {
 	var num [8]byte
 	binary.BigEndian.PutUint64(num[:], block.Number())
 	b.Put(headKey, num[:])
-	return c.cfg.Store.Write(b)
+	if err := c.cfg.Store.Write(b); err != nil {
+		return err
+	}
+	if n := c.cfg.SyncEvery; n > 0 && block.Number()%uint64(n) == 0 {
+		if sy, ok := c.cfg.Store.(store.Syncer); ok {
+			return sy.Sync()
+		}
+	}
+	return nil
 }
 
 // HasHead reports whether kv holds a recoverable chain.
@@ -84,6 +92,15 @@ func HasHead(kv store.Store) bool {
 //   - has no receipts for historical blocks.
 //
 // cfg.Store must be the same store; Open sets it if nil.
+//
+// When the store reports dirty salvage (a torn tail or quarantined
+// corruption repaired on reopen), Open does not trust the head record
+// blindly: it verifies the head block's complete state (account trie,
+// storage tries, code blobs) and, if the newest records did not survive
+// intact, walks the head backwards to the deepest block whose state
+// verifies — the last truly durable commit — then repoints the head
+// record there. A store that salvaged cleanly skips the (O(state size))
+// verification entirely.
 func Open(cfg Config, kv store.Store) (*Chain, error) {
 	if cfg.Store == nil {
 		cfg.Store = kv
@@ -97,6 +114,42 @@ func Open(cfg Config, kv store.Store) (*Chain, error) {
 	}
 	head := binary.BigEndian.Uint64(headB)
 
+	suspect := false
+	if sv, ok := kv.(store.Salvager); ok {
+		suspect = sv.Salvage().Dirty()
+	}
+	if !suspect {
+		return openAt(cfg, kv, head)
+	}
+	var firstErr error
+	for num := head; ; num-- {
+		c, err := openAt(cfg, kv, num)
+		if err == nil {
+			err = statedb.VerifyState(kv, c.Head().Header.StateRoot)
+			if err == nil {
+				if num != head {
+					// Repoint the head record at the block that
+					// actually survived, so the next open is clean.
+					var nb [8]byte
+					binary.BigEndian.PutUint64(nb[:], num)
+					if perr := kv.Put(headKey, nb[:]); perr != nil {
+						return nil, perr
+					}
+				}
+				return c, nil
+			}
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if num == 0 {
+			return nil, fmt.Errorf("chain: no verifiable durable head after salvage: %w", firstErr)
+		}
+	}
+}
+
+// openAt recovers the chain whose head is block number head.
+func openAt(cfg Config, kv store.Store, head uint64) (*Chain, error) {
 	// Walk down from the head following parent hashes, so stale records
 	// from abandoned branches (last-write-wins leftovers below a reorg
 	// point) can never splice into the recovered chain.

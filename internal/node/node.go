@@ -116,6 +116,9 @@ type Node struct {
 	store   store.Store // nil without persistence
 	boot    BootSource
 
+	closeOnce sync.Once
+	closeErr  error
+
 	mu    sync.Mutex
 	stats Stats
 	// orphans buffers blocks that arrived ahead of a missing parent

@@ -83,3 +83,23 @@ func (n *Node) BootSource() BootSource { return n.boot }
 
 // Store returns the node's backing store (nil without persistence).
 func (n *Node) Store() store.Store { return n.store }
+
+// Close flushes and closes the node's backing store (Sync, then
+// Close), making every adopted block durable. It is idempotent and
+// safe on storeless nodes; the node must not adopt blocks afterwards.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		if n.store == nil {
+			return
+		}
+		if sy, ok := n.store.(store.Syncer); ok {
+			if err := sy.Sync(); err != nil {
+				n.closeErr = err
+				_ = n.store.Close()
+				return
+			}
+		}
+		n.closeErr = n.store.Close()
+	})
+	return n.closeErr
+}

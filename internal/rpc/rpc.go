@@ -6,6 +6,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sereth/internal/node"
@@ -55,25 +58,81 @@ type ViewResult struct {
 	Value string `json:"value"`
 }
 
-// Server serves JSON-RPC for one node.
+// Server serves JSON-RPC for one node. It is hardened for unattended
+// operation: handler panics are recovered into codeInternal responses
+// (a poisoned request cannot kill the node), an optional max-in-flight
+// gate sheds overload with HTTP 503 (which Client classifies as
+// retryable), GET /health answers liveness probes, and Shutdown drains
+// in-flight requests before flushing and closing the node's store.
 type Server struct {
 	node     *node.Node
 	contract types.Address
+
+	sem      chan struct{} // nil = unlimited in-flight requests
+	inflight sync.WaitGroup
+	draining atomic.Bool
+
+	// onRequest, when set, runs at the start of every dispatched
+	// request — a test hook for wedging or crashing the handler path.
+	onRequest func()
 }
 
 var _ http.Handler = (*Server)(nil)
 
-// NewServer wraps a node.
-func NewServer(n *node.Node, contract types.Address) *Server {
-	return &Server{node: n, contract: contract}
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxInFlight caps concurrently served requests at n; excess
+// requests are shed immediately with HTTP 503 rather than queueing
+// without bound. n <= 0 leaves the server unlimited.
+func WithMaxInFlight(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = make(chan struct{}, n)
+		}
+	}
 }
+
+// NewServer wraps a node.
+func NewServer(n *node.Node, contract types.Address, opts ...ServerOption) *Server {
+	s := &Server{node: n, contract: contract}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// healthPath is the liveness endpoint served alongside JSON-RPC.
+const healthPath = "/health"
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == healthPath && r.Method == http.MethodGet {
+		s.serveHealth(w)
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.draining.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			// Shed rather than queue: the client retries 5xx with
+			// backoff, so bounded concurrency degrades gracefully.
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		http.Error(w, "read body", http.StatusBadRequest)
@@ -85,7 +144,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		resp.Error = &rpcError{Code: codeParse, Message: "parse error"}
 	} else {
 		resp.ID = req.ID
-		result, rerr := s.dispatch(&req)
+		result, rerr := s.safeDispatch(&req)
 		if rerr != nil {
 			resp.Error = rerr
 		} else {
@@ -97,6 +156,65 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// Connection-level failure; nothing more to do.
 		return
 	}
+}
+
+// serveHealth answers the liveness probe: 200 with chain height while
+// serving, 503 once draining.
+func (s *Server) serveHealth(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"status": status,
+		"height": s.node.Chain().Height(),
+		"boot":   s.node.BootSource().String(),
+	})
+}
+
+// safeDispatch runs dispatch under panic recovery. A handler panic —
+// e.g. the trie layer's mustResolve on a store that lost a node — is
+// degraded to a codeInternal error response instead of unwinding the
+// whole process.
+func (s *Server) safeDispatch(req *request) (result interface{}, rerr *rpcError) {
+	defer func() {
+		if p := recover(); p != nil {
+			result = nil
+			rerr = &rpcError{Code: codeInternal, Message: fmt.Sprintf("internal error: %v", p)}
+		}
+	}()
+	if s.onRequest != nil {
+		s.onRequest()
+	}
+	return s.dispatch(req)
+}
+
+// Shutdown drains the server, waits for in-flight requests (bounded by
+// ctx), then flushes and closes the node's store. New requests are
+// refused with 503 from the moment Shutdown is called, so a fronting
+// http.Server can finish writing responses already in progress.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Close the store anyway — everything persisted so far is
+		// consistent; the laggard requests are read paths.
+		if err := s.node.Close(); err != nil {
+			return err
+		}
+		return ctx.Err()
+	}
+	return s.node.Close()
 }
 
 func (s *Server) dispatch(req *request) (interface{}, *rpcError) {

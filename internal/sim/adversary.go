@@ -63,8 +63,8 @@ func newForger(net *p2p.Network, id p2p.PeerID, seed int64, contract types.Addre
 	attackTxs map[types.Hash]bool, forgedBlocks map[types.Hash]bool) *forger {
 	return &forger{
 		net: net, id: id,
-		key:      wallet.NewKey(fmt.Sprintf("forger-%d", seed)),
-		contract: contract,
+		key:       wallet.NewKey(fmt.Sprintf("forger-%d", seed)),
+		contract:  contract,
 		attackTxs: attackTxs, forgedBlocks: forgedBlocks,
 	}
 }
@@ -211,7 +211,7 @@ func (f *frontrunner) HandleTx(from p2p.PeerID, tx *types.Transaction) {
 	}
 }
 
-func (f *frontrunner) HandleBlock(from p2p.PeerID, block *types.Block)      {}
+func (f *frontrunner) HandleBlock(from p2p.PeerID, block *types.Block)       {}
 func (f *frontrunner) HandleBlockRequest(from p2p.PeerID, fromNumber uint64) {}
 
 func (f *frontrunner) stats() attackStats { return f.st }

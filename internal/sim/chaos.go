@@ -63,6 +63,19 @@ type FaultPlan struct {
 	LinkReorderDelayMs uint64
 	LinkExtraLatencyMs uint64
 
+	// CrashPeers peers (drawn from the churn-eligible set) are backed by
+	// fault-injected file stores and hard-killed at a seeded random
+	// instant in the submission window: their unsynced log tail is cut at
+	// a random byte and the handle abandoned without sync — a process
+	// kill mid-commit. CrashDownMs later the peer restarts from its
+	// datadir: the log salvages, chain.Open lands on a durable verified
+	// head, and the peer resyncs the rest over gossip.
+	CrashPeers  int
+	CrashDownMs uint64 // outage length; 0 = two block intervals
+	// CrashSyncEvery is the crashing peers' store-sync cadence in blocks
+	// (chain.Config.SyncEvery); 0 = every 2 blocks.
+	CrashSyncEvery int
+
 	// Adversary selects an attacker ("", censor, forger, frontrun).
 	Adversary string
 	// CensorMiners is how many miners censor (0 = all); CensorTargets is

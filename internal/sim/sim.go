@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 
 	"sereth/internal/asm"
@@ -254,6 +255,18 @@ type Result struct {
 	Rejoins          int
 	ResyncMs         []float64
 	ResyncIncomplete int
+	// Crash-family accounting: hard kills of persisting peers, completed
+	// restarts, restarts that recovered a durable head from disk (vs
+	// falling back to genesis because the crash predated any durable
+	// write), per-restart recovery latency (salvage + gossip catch-up),
+	// and the storage-salvage totals across every restart.
+	Crashes            int
+	CrashRecoveries    int
+	RecoveredBoots     int
+	CrashRecoveryMs    []float64
+	SalvageTornBytes   uint64
+	SalvageQuarantined uint64
+	SalvageCorrected   uint64
 	// Converged reports whether every online peer ended on the primary
 	// client's exact head (hash, not just height).
 	Converged bool
@@ -316,6 +329,7 @@ func Run(cfg ScenarioConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer s.cleanup()
 	return s.run()
 }
 
@@ -333,6 +347,11 @@ const (
 	evPartition
 	evHeal
 	evAttack
+	// Crash-family events: a hard process kill of a persisting peer
+	// (unsynced log tail cut, handle abandoned) and its restart from the
+	// salvaged datadir.
+	evCrash
+	evRestart
 )
 
 type event struct {
@@ -375,6 +394,21 @@ type scenario struct {
 	resyncs     []resyncWatch // rejoined peers still catching up
 	resyncDone  []float64     // completed resync latencies (ms)
 	blocksMined int
+	// Crash-family state: the node configs (for rebuilding a crashed
+	// peer), the crash-eligible indexes chosen up front (those peers run
+	// on fault-injected file stores), their datadirs and store handles,
+	// and the recovery accounting.
+	nodeCfgs        []node.Config
+	crashIdxs       []int
+	crashDirs       map[int]string
+	crashFaults     map[int]*store.FaultStore
+	crashes         int
+	crashRecoveries int
+	recoveredBoots  int
+	crashRecoveryMs []float64
+	salvageTorn     uint64
+	salvageQuar     uint64
+	salvageFixed    uint64
 	// Censoring-miner accounting: the targeted sender set and the
 	// hashes of their submitted buys.
 	censorAddrs       map[types.Address]bool
@@ -392,6 +426,9 @@ type resyncWatch struct {
 	idx    int
 	joinAt uint64
 	target uint64
+	// crash marks a crash-restart watch: its latency is the disk-recovery
+	// + catch-up time, reported separately from churn resyncs.
+	crash bool
 }
 
 // population resolves the configured peer counts, defaulting to the
@@ -519,7 +556,40 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 	}
 	s.net = p2p.NewNetwork(netCfg)
 
-	mk := func(id p2p.PeerID, mode node.Mode, minerKind node.MinerKind) (*node.Node, error) {
+	// Crash-family setup: the crashing peers are drawn from the same
+	// protected-set rules as churn (never the first miner of each kind or
+	// the primary client), chosen before construction so they can be
+	// built on fault-injected file stores from genesis on.
+	crashSet := map[int]bool{}
+	if fp.CrashPeers > 0 {
+		if cfg.RPCClients {
+			return nil, fmt.Errorf("sim: CrashPeers is incompatible with RPCClients (the frontend would serve dead nodes)")
+		}
+		protected := map[int]bool{0: true, nSemantic: true, nSemantic + nBaseline: true}
+		var eligible []int
+		for i := 0; i < nSemantic+nBaseline+nClients; i++ {
+			if !protected[i] {
+				eligible = append(eligible, i)
+			}
+		}
+		crashRng := rand.New(rand.NewSource(subSeed(cfg.Seed, "crash")))
+		crashRng.Shuffle(len(eligible), func(i, j int) {
+			eligible[i], eligible[j] = eligible[j], eligible[i]
+		})
+		k := fp.CrashPeers
+		if k > len(eligible) {
+			k = len(eligible)
+		}
+		s.crashIdxs = append(s.crashIdxs, eligible[:k]...)
+		sort.Ints(s.crashIdxs)
+		for _, idx := range s.crashIdxs {
+			crashSet[idx] = true
+		}
+		s.crashDirs = make(map[int]string, k)
+		s.crashFaults = make(map[int]*store.FaultStore, k)
+	}
+
+	mk := func(idx int, id p2p.PeerID, mode node.Mode, minerKind node.MinerKind) (*node.Node, error) {
 		nodeCfg := node.Config{
 			ID: id, Mode: mode, Miner: minerKind,
 			Contract: s.contract, Chain: chainCfg, Genesis: genesis,
@@ -535,30 +605,62 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 		if cfg.Persist {
 			nodeCfg.Store = store.NewMem()
 		}
+		if crashSet[idx] {
+			dir, err := os.MkdirTemp("", "sereth-crash-")
+			if err != nil {
+				return nil, err
+			}
+			s.crashDirs[idx] = dir
+			kv, err := store.OpenFile(dir)
+			if err != nil {
+				return nil, err
+			}
+			fault := store.NewFault(kv, s.crashPolicy(idx))
+			s.crashFaults[idx] = fault
+			nodeCfg.Store = fault
+			nodeCfg.Chain.SyncEvery = s.crashSyncEvery()
+			// A crashing peer must own everything it persists. The
+			// population-shared exec cache and genesis state hand it
+			// statedbs whose dirty trie nodes were already committed into
+			// the FIRST committer's store — write-through adoption of those
+			// would leave holes in this peer's own datadir, unrecoverable
+			// after a kill. A private cache (every block re-executed
+			// locally) and a private genesis instance (same root, fresh
+			// dirty flags) keep its log complete; execution is
+			// deterministic, so this changes only CPU time, never η.
+			nodeCfg.Chain.ExecCache = chain.NewExecCache(0)
+			nodeCfg.Genesis = s.freshGenesis()
+		}
+		// The config is remembered verbatim (minus the store, swapped at
+		// restart) so a crashed peer can be rebuilt from its datadir.
+		s.nodeCfgs = append(s.nodeCfgs, nodeCfg)
 		return node.New(nodeCfg)
 	}
 	// Peer ids are assigned semantic miners first, then baseline miners,
 	// then clients — the paper rig keeps its historical 1/2/3 layout.
 	id := p2p.PeerID(1)
 	for i := 0; i < nSemantic; i++ {
-		n, err := mk(id, node.ModeSereth, node.MinerSemantic)
+		n, err := mk(int(id)-1, id, node.ModeSereth, node.MinerSemantic)
 		if err != nil {
+			s.cleanup()
 			return nil, err
 		}
 		s.semantic = append(s.semantic, n)
 		id++
 	}
 	for i := 0; i < nBaseline; i++ {
-		n, err := mk(id, node.ModeGeth, node.MinerBaseline)
+		n, err := mk(int(id)-1, id, node.ModeGeth, node.MinerBaseline)
 		if err != nil {
+			s.cleanup()
 			return nil, err
 		}
 		s.baseline = append(s.baseline, n)
 		id++
 	}
 	for i := 0; i < nClients; i++ {
-		n, err := mk(id, cfg.ClientMode, node.MinerNone)
+		n, err := mk(int(id)-1, id, cfg.ClientMode, node.MinerNone)
 		if err != nil {
+			s.cleanup()
 			return nil, err
 		}
 		s.clients = append(s.clients, n)
@@ -594,6 +696,46 @@ func newScenario(cfg ScenarioConfig) (*scenario, error) {
 		s.rpc = newRPCFrontend(s.clients, s.contract)
 	}
 	return s, nil
+}
+
+// freshGenesis builds a private genesis state instance: bit-identical
+// root, but with its own dirty-node tracking so a crash peer's store
+// receives the full genesis commit (see the crash setup in mk).
+func (s *scenario) freshGenesis() *statedb.StateDB {
+	g := statedb.New()
+	g.SetCode(s.contract, asm.SerethContract())
+	return g
+}
+
+// crashPolicy is the storage fault policy a crash-eligible peer runs
+// under: no active write faults, but a manual Crash() drops the
+// unsynced log tail at a seeded random byte — a kill mid-commit.
+func (s *scenario) crashPolicy(idx int) *store.FaultPolicy {
+	return &store.FaultPolicy{
+		Seed:                subSeed(s.cfg.Seed, fmt.Sprintf("crash-store-%d", idx)),
+		DropUnsyncedOnCrash: true,
+	}
+}
+
+// crashSyncEvery resolves the crashing peers' store-sync cadence.
+func (s *scenario) crashSyncEvery() int {
+	if n := s.cfg.Faults.CrashSyncEvery; n > 0 {
+		return n
+	}
+	return 2
+}
+
+// cleanup releases the crash-family datadirs and store handles. It is
+// idempotent; Run always calls it, as do newScenario's error paths.
+func (s *scenario) cleanup() {
+	for _, f := range s.crashFaults {
+		_ = f.Close()
+	}
+	s.crashFaults = nil
+	for _, dir := range s.crashDirs {
+		_ = os.RemoveAll(dir)
+	}
+	s.crashDirs = nil
 }
 
 // churnEligible lists the node indexes churn may take down: everyone
@@ -647,6 +789,22 @@ func (s *scenario) faultSchedule(buyStart, span uint64) []event {
 			events = append(events,
 				event{at: at, kind: evLeave, idx: eligible[i]},
 				event{at: at + down, kind: evJoin, idx: eligible[i]})
+		}
+	}
+	if len(s.crashIdxs) > 0 {
+		// Crash instants draw from their own namespaced stream; the set
+		// itself was chosen at construction (those peers carry the
+		// fault-injected file stores).
+		crashRng := rand.New(rand.NewSource(subSeed(s.cfg.Seed, "crash-times")))
+		down := fp.CrashDownMs
+		if down == 0 {
+			down = 2 * s.cfg.BlockIntervalMs
+		}
+		for _, idx := range s.crashIdxs {
+			at := buyStart + uint64(crashRng.Int63n(int64(span)))
+			events = append(events,
+				event{at: at, kind: evCrash, idx: idx},
+				event{at: at + down, kind: evRestart, idx: idx})
 		}
 	}
 	if fp.PartitionForMs > 0 {
@@ -923,6 +1081,11 @@ func (s *scenario) dispatch(ev event) error {
 	case evJoin:
 		s.doJoin(ev.at, ev.idx)
 		return nil
+	case evCrash:
+		s.doCrash(ev.idx)
+		return nil
+	case evRestart:
+		return s.doRestart(ev.at, ev.idx)
 	case evPartition:
 		s.doPartition()
 		return nil
@@ -971,6 +1134,86 @@ func (s *scenario) doJoin(at uint64, idx int) {
 	s.resyncs = append(s.resyncs, resyncWatch{idx: idx, joinAt: at, target: target})
 }
 
+// doCrash hard-kills a persisting peer: it leaves the network like a
+// churned peer, but its store additionally loses the unsynced log tail
+// at a seeded random byte and abandons the file handle without sync —
+// the write that was in flight when the process died.
+func (s *scenario) doCrash(idx int) {
+	n := s.nodes[idx]
+	s.offline[n.ID()] = true
+	s.net.Leave(n.ID())
+	if f := s.crashFaults[idx]; f != nil {
+		f.Crash()
+	}
+	s.crashes++
+}
+
+// doRestart brings a crashed peer back from its datadir: the log is
+// salvaged on open, the node rebuilds from the durable head (or genesis
+// when the crash predated any durable head), rejoins the network, and a
+// recovery watch measures how long it takes to catch back up. Salvage
+// or recovery failures abort the run — they are exactly the
+// crash-consistency invariant this family exists to check.
+func (s *scenario) doRestart(at uint64, idx int) error {
+	kv, err := store.OpenFile(s.crashDirs[idx])
+	if err != nil {
+		return fmt.Errorf("sim: crash restart %d: salvage failed: %w", idx, err)
+	}
+	rep := kv.Salvage()
+	s.salvageTorn += uint64(rep.TornBytes)
+	s.salvageQuar += uint64(rep.Quarantined)
+	s.salvageFixed += uint64(rep.Corrected)
+	fault := store.NewFault(kv, s.crashPolicy(idx))
+	s.crashFaults[idx] = fault
+	cfg := s.nodeCfgs[idx]
+	cfg.Store = fault
+	// Both per-restart: the exec cache must not replay pre-crash post
+	// states whose dirty nodes went to the dead handle, and the genesis
+	// fallback (a kill before any durable head) must commit in full.
+	cfg.Chain.ExecCache = chain.NewExecCache(0)
+	cfg.Genesis = s.freshGenesis()
+	n, err := node.New(cfg)
+	if err != nil {
+		return fmt.Errorf("sim: crash restart %d: reopen failed: %w", idx, err)
+	}
+	if n.BootSource() == node.BootRecovered {
+		s.recoveredBoots++
+	}
+	s.replaceNode(idx, n)
+	delete(s.offline, n.ID())
+	s.net.Join(n.ID(), n)
+	s.crashRecoveries++
+	target := uint64(0)
+	for _, m := range s.nodes {
+		if s.offline[m.ID()] {
+			continue
+		}
+		if h := m.Chain().Height(); h > target {
+			target = h
+		}
+	}
+	if n.Chain().Height() >= target {
+		s.crashRecoveryMs = append(s.crashRecoveryMs, 0)
+		return nil
+	}
+	s.resyncs = append(s.resyncs, resyncWatch{idx: idx, joinAt: at, target: target, crash: true})
+	return nil
+}
+
+// replaceNode swaps a rebuilt peer into the population, keeping the
+// role slices (which mine() draws producers from) in step.
+func (s *scenario) replaceNode(idx int, n *node.Node) {
+	s.nodes[idx] = n
+	switch {
+	case idx < len(s.semantic):
+		s.semantic[idx] = n
+	case idx < len(s.semantic)+len(s.baseline):
+		s.baseline[idx-len(s.semantic)] = n
+	default:
+		s.clients[idx-len(s.semantic)-len(s.baseline)] = n
+	}
+}
+
 // doPartition cuts the population into two mining halves (peers
 // alternate by index, so each side keeps at least one miner of each
 // kind); the adversary, if any, rides with group 0.
@@ -993,7 +1236,11 @@ func (s *scenario) checkResyncs(at uint64) {
 	remaining := s.resyncs[:0]
 	for _, w := range s.resyncs {
 		if s.nodes[w.idx].Chain().Height() >= w.target {
-			s.resyncDone = append(s.resyncDone, float64(at-w.joinAt))
+			if w.crash {
+				s.crashRecoveryMs = append(s.crashRecoveryMs, float64(at-w.joinAt))
+			} else {
+				s.resyncDone = append(s.resyncDone, float64(at-w.joinAt))
+			}
 			continue
 		}
 		remaining = append(remaining, w)
@@ -1219,6 +1466,13 @@ func (s *scenario) collectChaos(res *Result) {
 	res.Rejoins = s.rejoins
 	res.ResyncMs = s.resyncDone
 	res.ResyncIncomplete = len(s.resyncs)
+	res.Crashes = s.crashes
+	res.CrashRecoveries = s.crashRecoveries
+	res.RecoveredBoots = s.recoveredBoots
+	res.CrashRecoveryMs = s.crashRecoveryMs
+	res.SalvageTornBytes = s.salvageTorn
+	res.SalvageQuarantined = s.salvageQuar
+	res.SalvageCorrected = s.salvageFixed
 	res.CensoredSubmitted = s.censoredSubmitted
 	for _, n := range s.nodes {
 		res.TxsCensored += n.CensorExcluded()

@@ -2,22 +2,35 @@
 // tries, code blobs, blocks and head pointers. Two implementations share
 // one interface: MemStore (a mutex-guarded map, for tests and ephemeral
 // nodes) and FileStore (a single append-only log with an in-memory
-// index, batched writes, and torn-tail salvage on reopen).
+// index, batched writes, checksummed records, crash salvage and
+// compaction on reopen).
 //
 // The store is deliberately dumber than a real database: trie nodes are
 // content-addressed (key = Keccak of the value) so records are immutable
 // and an append log with last-write-wins replay is a correct index. The
 // only mutable keys are small pointers (the chain head), which simply
 // append a new record.
+//
+// On-disk format (SKV2): a 5-byte magic followed by records of
+// `uvarint(len key) || key || uvarint(len value) || value || crc32`,
+// where the CRC (IEEE, little-endian) covers the record bytes before
+// it. The CRC lets reopen distinguish a torn tail (truncate and keep
+// going) from mid-log corruption (scan ahead to the next valid record,
+// quarantine the damaged range, keep every later record). Legacy SKV1
+// files (no CRCs) still open; they are migrated to SKV2 by an immediate
+// compaction.
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -33,6 +46,18 @@ type Store interface {
 	Write(b *Batch) error
 	// Close flushes and releases the store.
 	Close() error
+}
+
+// Syncer is implemented by stores with an explicit durability point;
+// everything written before a successful Sync survives a crash.
+type Syncer interface {
+	Sync() error
+}
+
+// Salvager is implemented by stores that can report what reopen had to
+// repair. chain.Open uses a dirty report to trigger head verification.
+type Salvager interface {
+	Salvage() SalvageReport
 }
 
 // Batch accumulates key/value pairs for a single Write. It satisfies
@@ -113,50 +138,161 @@ func (s *MemStore) Len() int {
 // Close is a no-op for the in-memory store.
 func (s *MemStore) Close() error { return nil }
 
-// FileStore is an append-only log with a full in-memory index. Every
-// record is `uvarint(len key) || key || uvarint(len value) || value`;
-// reopen replays the log (last write wins) and truncates a torn tail
-// left by a crash mid-append. Write batches many records into a single
-// file append; Sync is explicit so block-boundary commits can group
-// durability points.
+// SalvageReport describes what reopen had to repair to produce a
+// consistent index. A zero report means the log was clean.
+type SalvageReport struct {
+	// Records is how many records replayed into the index.
+	Records int
+	// TornBytes is the length of the truncated trailing partial record
+	// (a crash mid-append).
+	TornBytes int64
+	// Corrected counts records restored by single-bit CRC correction:
+	// the damaged range parsed as exactly one record under one bit
+	// flip whose checksum then matched.
+	Corrected int
+	// Quarantined counts mid-log damaged ranges that were skipped by
+	// scanning ahead to the next CRC-valid record.
+	Quarantined int
+	// QuarantinedBytes is the total length of those skipped ranges.
+	QuarantinedBytes int64
+	// LegacyFormat marks an SKV1 (pre-CRC) file, migrated to SKV2 on
+	// open via compaction.
+	LegacyFormat bool
+	// TmpRemoved marks a leftover compaction temp file from a crash
+	// between tmp-write and rename; the main log stayed authoritative.
+	TmpRemoved bool
+	// Compacted marks that open rewrote the log (legacy migration or
+	// quarantine cleanup).
+	Compacted bool
+}
+
+// Dirty reports whether reopen found damage (as opposed to a clean log
+// or a mere format migration). Consumers such as chain.Open use it to
+// decide whether the head must be re-verified.
+func (r SalvageReport) Dirty() bool {
+	return r.TornBytes > 0 || r.Corrected > 0 || r.Quarantined > 0 || r.TmpRemoved
+}
+
+// CompactStats summarises one log compaction.
+type CompactStats struct {
+	// BytesBefore/BytesAfter are the log sizes (excluding magic)
+	// around the rewrite.
+	BytesBefore, BytesAfter int64
+	// Records is the number of live records written.
+	Records int
+}
+
+// FileStore is an append-only log with a full in-memory index. Write
+// batches many records into a single file append; Sync is explicit so
+// block-boundary commits can group durability points. Reopen replays
+// the log (last write wins), verifying each record's CRC: a torn tail
+// is truncated, mid-log corruption is quarantined by resyncing to the
+// next valid record, and the log is compacted when dead bytes dominate.
 type FileStore struct {
 	mu   sync.RWMutex
-	m    map[string][]byte
+	m    map[string]*fentry
 	f    *os.File
 	path string
+
+	buf []byte // pooled append scratch, reused under mu
+
+	size       int64 // file size (magic + log bytes)
+	syncedSize int64 // file size at the last Sync (durability horizon)
+	liveBytes  int64 // bytes occupied by the latest record of each live key
+	closed     bool
+
+	salvage SalvageReport
+
+	// CompactMinBytes and CompactRatio gate automatic compaction: when
+	// the log (excluding magic) exceeds CompactMinBytes and more than
+	// CompactRatio of it is dead (superseded or quarantined) bytes,
+	// Write triggers a rewrite. Set CompactMinBytes to 0 to disable.
+	// Adjust only right after OpenFile, before concurrent use.
+	CompactMinBytes int64
+	CompactRatio    float64
+}
+
+// fentry is an index slot. Indirection lets overwrites of an existing
+// key mutate in place, keeping the hot Write path allocation-free (a
+// map assignment would re-allocate the key string every time).
+type fentry struct {
+	val []byte
 }
 
 // logMagic heads every store file; it versions the record format.
-var logMagic = []byte("SKV1\n")
+var logMagic = []byte("SKV2\n")
+
+// logMagicV1 is the pre-CRC format, still accepted on open.
+var logMagicV1 = []byte("SKV1\n")
 
 // ErrNotStoreFile marks a file that does not start with the store magic.
 var ErrNotStoreFile = errors.New("store: not a store file")
 
+// ErrClosed is returned by writes against a closed store.
+var ErrClosed = errors.New("store: closed")
+
 // FileName is the log's name inside a datadir.
 const FileName = "sereth.kv"
 
+// TmpFileName is the compaction scratch file inside a datadir. A crash
+// between writing it and the atomic rename leaves the main log
+// authoritative; reopen discards the leftover.
+const TmpFileName = FileName + ".tmp"
+
+// crcSize is the per-record checksum trailer length in SKV2.
+const crcSize = 4
+
+const (
+	defaultCompactMinBytes = 1 << 20
+	defaultCompactRatio    = 0.5
+)
+
 // OpenFile opens (or creates) the log under dir and replays it into the
-// index, truncating any torn final record.
+// index. Torn tails are truncated; mid-log corruption is quarantined;
+// legacy SKV1 files and quarantine damage are rewritten to a clean SKV2
+// log via compaction.
 func OpenFile(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	tmpRemoved := false
+	if err := os.Remove(filepath.Join(dir, TmpFileName)); err == nil {
+		tmpRemoved = true
 	}
 	path := filepath.Join(dir, FileName)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &FileStore{m: make(map[string][]byte), f: f, path: path}
+	s := &FileStore{
+		m:               make(map[string]*fentry),
+		f:               f,
+		path:            path,
+		CompactMinBytes: defaultCompactMinBytes,
+		CompactRatio:    defaultCompactRatio,
+	}
+	s.salvage.TmpRemoved = tmpRemoved
 	if err := s.replay(); err != nil {
 		_ = f.Close()
 		return nil, err
+	}
+	if s.salvage.LegacyFormat || s.salvage.Quarantined > 0 || s.salvage.Corrected > 0 {
+		// Rewrite to a clean SKV2 log so the damage (or the CRC-less
+		// format) does not survive into the next generation.
+		if _, err := s.compactLocked(); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		s.salvage.Compacted = true
 	}
 	return s, nil
 }
 
 // replay rebuilds the index from the log. A clean file ends exactly at
-// a record boundary; anything else (a torn append from a crash) is
-// truncated away so the next append lands on a valid tail.
+// a record boundary. A torn tail (crash mid-append) is truncated away.
+// Under SKV2, a CRC failure in the middle of the log resyncs to the
+// next valid record and quarantines the damaged range, so later good
+// records survive.
 func (s *FileStore) replay() error {
 	data, err := io.ReadAll(s.f)
 	if err != nil {
@@ -166,23 +302,62 @@ func (s *FileStore) replay() error {
 		if _, err := s.f.Write(logMagic); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
+		s.size = int64(len(logMagic))
+		s.syncedSize = s.size
 		return nil
 	}
-	if len(data) < len(logMagic) || string(data[:len(logMagic)]) != string(logMagic) {
+	withCRC := false
+	switch {
+	case bytes.HasPrefix(data, logMagic):
+		withCRC = true
+	case bytes.HasPrefix(data, logMagicV1):
+		s.salvage.LegacyFormat = true
+	default:
 		return ErrNotStoreFile
 	}
 	off := len(logMagic)
 	good := off
 	for off < len(data) {
-		key, val, next, ok := readRecord(data, off)
-		if !ok {
+		key, val, next, ok := readRecord(data, off, withCRC)
+		if ok {
+			s.index(key, val, withCRC)
+			s.salvage.Records++
+			off = next
+			good = off
+			continue
+		}
+		// Damaged or incomplete record at off. Without CRCs there is
+		// no way to tell a torn tail from corruption, so legacy files
+		// keep the old behaviour: truncate here. With CRCs, scan ahead
+		// for the next valid record: the damaged range is bounded
+		// either by it or by EOF, which makes single-bit repair
+		// tractable; an unrepairable mid-log range is quarantined,
+		// an unrepairable tail is torn.
+		resync := -1
+		if withCRC {
+			resync = findResync(data, off+1)
+		}
+		end := len(data)
+		if resync >= 0 {
+			end = resync
+		}
+		if key, val, ok := correctSingleBit(data, off, end); ok {
+			s.index(key, val, withCRC)
+			s.salvage.Records++
+			s.salvage.Corrected++
+			off = end
+			good = off
+			continue
+		}
+		if resync < 0 {
 			break
 		}
-		s.m[string(key)] = val
-		off = next
-		good = off
+		s.salvage.Quarantined++
+		s.salvage.QuarantinedBytes += int64(resync - off)
+		off = resync
 	}
 	if good != len(data) {
+		s.salvage.TornBytes = int64(len(data) - good)
 		if err := s.f.Truncate(int64(good)); err != nil {
 			return fmt.Errorf("store: salvage: %w", err)
 		}
@@ -190,12 +365,85 @@ func (s *FileStore) replay() error {
 	if _, err := s.f.Seek(int64(good), io.SeekStart); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.size = int64(good)
+	s.syncedSize = s.size
 	return nil
 }
 
-// readRecord parses one record at off; ok is false when the tail is
-// truncated mid-record.
-func readRecord(data []byte, off int) (key, val []byte, next int, ok bool) {
+// index applies one record to the in-memory index and the live-bytes
+// accounting. Overwrites mutate the entry in place (no allocation).
+func (s *FileStore) index(key, val []byte, withCRC bool) {
+	if e, ok := s.m[string(key)]; ok {
+		s.liveBytes += recordSize(len(key), len(val), withCRC) -
+			recordSize(len(key), len(e.val), withCRC)
+		e.val = val
+		return
+	}
+	s.m[string(key)] = &fentry{val: val}
+	s.liveBytes += recordSize(len(key), len(val), withCRC)
+}
+
+// correctMaxBytes bounds the damaged range single-bit repair will
+// brute-force; the attempt is O(range² · 8) in CRC work.
+const correctMaxBytes = 1 << 16
+
+// correctSingleBit tries to repair the damaged range data[off:end) as
+// one record with exactly one flipped bit. CRC32 makes the check
+// sound: a candidate flip must make the range parse as a record ending
+// exactly at end with a matching checksum, so a false repair needs a
+// ~2^-32 collision. The flip is applied to data in place (later
+// compaction rewrites the clean log); a torn tail can never pass,
+// since no single flip invents missing bytes. Salvage-path only.
+func correctSingleBit(data []byte, off, end int) (key, val []byte, ok bool) {
+	if end-off > correctMaxBytes {
+		return nil, nil, false
+	}
+	for i := off; i < end; i++ {
+		for bit := 0; bit < 8; bit++ {
+			data[i] ^= 1 << bit
+			if key, val, next, ok := readRecord(data, off, true); ok && next == end {
+				return key, val, true
+			}
+			data[i] ^= 1 << bit
+		}
+	}
+	return nil, nil, false
+}
+
+// findResync scans forward from off for the next offset that parses as
+// a CRC-valid record, or -1 if none exists before EOF. Only called on
+// corruption, so the quadratic worst case never sits on a hot path.
+func findResync(data []byte, off int) int {
+	for ; off < len(data); off++ {
+		if _, _, _, ok := readRecord(data, off, true); ok {
+			return off
+		}
+	}
+	return -1
+}
+
+// recordSize returns the on-disk footprint of a record.
+func recordSize(klen, vlen int, withCRC bool) int64 {
+	n := uvarintLen(uint64(klen)) + klen + uvarintLen(uint64(vlen)) + vlen
+	if withCRC {
+		n += crcSize
+	}
+	return int64(n)
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// readRecord parses one record at off; ok is false when the bytes do
+// not form a complete record (or, with CRC, fail the checksum).
+func readRecord(data []byte, off int, withCRC bool) (key, val []byte, next int, ok bool) {
+	start := off
 	klen, n := binary.Uvarint(data[off:])
 	if n <= 0 || uint64(len(data)-off-n) < klen {
 		return nil, nil, 0, false
@@ -209,23 +457,52 @@ func readRecord(data []byte, off int) (key, val []byte, next int, ok bool) {
 	}
 	off += n
 	val = data[off : off+int(vlen)]
-	return key, val, off + int(vlen), true
+	off += int(vlen)
+	if !withCRC {
+		return key, val, off, true
+	}
+	if len(data)-off < crcSize {
+		return nil, nil, 0, false
+	}
+	want := binary.LittleEndian.Uint32(data[off:])
+	if crc32.ChecksumIEEE(data[start:off]) != want {
+		return nil, nil, 0, false
+	}
+	return key, val, off + crcSize, true
 }
 
+// appendRecord encodes one SKV2 record (payload + CRC trailer).
 func appendRecord(buf, key, val []byte) []byte {
 	var tmp [binary.MaxVarintLen64]byte
+	start := len(buf)
 	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(key)))]...)
 	buf = append(buf, key...)
 	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(val)))]...)
-	return append(buf, val...)
+	buf = append(buf, val...)
+	sum := crc32.ChecksumIEEE(buf[start:])
+	binary.LittleEndian.PutUint32(tmp[:crcSize], sum)
+	return append(buf, tmp[:crcSize]...)
+}
+
+// encodeBatch renders the batch's records into buf (reused between
+// calls) exactly as Write would append them.
+func encodeBatch(buf []byte, b *Batch) []byte {
+	buf = buf[:0]
+	for _, p := range b.pairs {
+		buf = appendRecord(buf, p.key, p.val)
+	}
+	return buf
 }
 
 // Get returns the value stored under key.
 func (s *FileStore) Get(key []byte) ([]byte, bool) {
 	s.mu.RLock()
-	v, ok := s.m[string(key)]
+	e, ok := s.m[string(key)]
 	s.mu.RUnlock()
-	return v, ok
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
 }
 
 // Put appends one record and indexes it.
@@ -236,24 +513,121 @@ func (s *FileStore) Put(key, value []byte) error {
 }
 
 // Write appends the whole batch as one file write, then publishes it to
-// the index. Readers never observe a partially applied batch.
+// the index. Readers never observe a partially applied batch. The
+// encode scratch is pooled, so steady-state writes do not allocate.
 func (s *FileStore) Write(b *Batch) error {
 	if len(b.pairs) == 0 {
 		return nil
 	}
-	buf := make([]byte, 0, b.bytes+8*len(b.pairs))
-	for _, p := range b.pairs {
-		buf = appendRecord(buf, p.key, p.val)
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.f.Write(buf); err != nil {
+	if s.closed {
+		return ErrClosed
+	}
+	s.buf = encodeBatch(s.buf, b)
+	if _, err := s.f.Write(s.buf); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.size += int64(len(s.buf))
 	for _, p := range b.pairs {
-		s.m[string(p.key)] = p.val
+		s.index(p.key, p.val, true)
 	}
-	return nil
+	return s.maybeCompactLocked()
+}
+
+// maybeCompactLocked rewrites the log when dead bytes dominate.
+func (s *FileStore) maybeCompactLocked() error {
+	if s.CompactMinBytes <= 0 {
+		return nil
+	}
+	total := s.size - int64(len(logMagic))
+	if total < s.CompactMinBytes {
+		return nil
+	}
+	if float64(total-s.liveBytes) <= float64(total)*s.CompactRatio {
+		return nil
+	}
+	_, err := s.compactLocked()
+	return err
+}
+
+// Compact rewrites the log to contain exactly the live records: they
+// are written to a temp file, synced, and atomically renamed over the
+// log. A crash at any point leaves either the old or the new log fully
+// intact (a leftover temp file is discarded on the next open).
+func (s *FileStore) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return CompactStats{}, ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *FileStore) compactLocked() (CompactStats, error) {
+	stats := CompactStats{
+		BytesBefore: s.size - int64(len(logMagic)),
+		Records:     len(s.m),
+	}
+	tmpPath := filepath.Join(filepath.Dir(s.path), TmpFileName)
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	fail := func(err error) (CompactStats, error) {
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	if _, err := tmp.Write(logMagic); err != nil {
+		return fail(err)
+	}
+	// Deterministic record order makes compacted logs byte-comparable
+	// across runs.
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var live int64
+	for _, k := range keys {
+		s.buf = appendRecord(s.buf[:0], []byte(k), s.m[k].val)
+		if _, err := tmp.Write(s.buf); err != nil {
+			return fail(err)
+		}
+		live += int64(len(s.buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpPath)
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		_ = os.Remove(tmpPath)
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	// Make the rename itself durable.
+	if d, err := os.Open(filepath.Dir(s.path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close()
+		return stats, fmt.Errorf("store: compact: %w", err)
+	}
+	_ = s.f.Close()
+	s.f = f
+	s.size = int64(len(logMagic)) + live
+	s.syncedSize = s.size
+	s.liveBytes = live
+	stats.BytesAfter = live
+	return stats, nil
 }
 
 // Len returns the number of live keys.
@@ -263,17 +637,36 @@ func (s *FileStore) Len() int {
 	return len(s.m)
 }
 
+// Salvage returns what the last open had to repair.
+func (s *FileStore) Salvage() SalvageReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.salvage
+}
+
 // Sync forces the log to stable storage.
 func (s *FileStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f.Sync()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.syncedSize = s.size
+	return nil
 }
 
-// Close syncs and closes the log.
+// Close syncs and closes the log. It is idempotent; the in-memory
+// index keeps serving Get after Close.
 func (s *FileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if err := s.f.Sync(); err != nil {
 		_ = s.f.Close()
 		return err
@@ -283,3 +676,74 @@ func (s *FileStore) Close() error {
 
 // Path returns the log file's path (testing/ops aid).
 func (s *FileStore) Path() string { return s.path }
+
+// --- raw file access for fault injection (same-package FaultStore) ---
+
+// sizes returns the current file size and the durability horizon (the
+// size at the last Sync).
+func (s *FileStore) sizes() (size, synced int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size, s.syncedSize
+}
+
+// rawAppend writes bytes straight to the file without touching the
+// index — a torn append as a crash would leave it.
+func (s *FileStore) rawAppend(p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, err := s.f.Write(p); err != nil {
+		return err
+	}
+	s.size += int64(len(p))
+	return nil
+}
+
+// rawTruncate cuts the file to n bytes without touching the index —
+// the on-disk outcome of losing an unsynced tail.
+func (s *FileStore) rawTruncate(n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Truncate(n); err != nil {
+		return err
+	}
+	if n < s.size {
+		s.size = n
+	}
+	if n < s.syncedSize {
+		s.syncedSize = n
+	}
+	_, err := s.f.Seek(s.size, io.SeekStart)
+	return err
+}
+
+// rawFlipBit flips one bit at byte offset off — silent media
+// corruption, visible only to the next replay.
+func (s *FileStore) rawFlipBit(off int64, bit uint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b [1]byte
+	if _, err := s.f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	if _, err := s.f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	_, err := s.f.Seek(s.size, io.SeekStart)
+	return err
+}
+
+// abandon closes the file handle without syncing — the process died.
+func (s *FileStore) abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	_ = s.f.Close()
+}
