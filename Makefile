@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-eta chaos-smoke parallel-smoke serving-smoke crash-smoke
+.PHONY: all build test race vet bench bench-eta chaos-smoke parallel-smoke serving-smoke crash-smoke elision-smoke
 
 all: vet build test
 
@@ -53,6 +53,19 @@ crash-smoke:
 	$(GO) test -race -run 'TestPanic|TestMaxInFlight|TestShed|TestShutdown|TestHealth' ./internal/rpc
 	$(GO) test -race -run 'TestCrash' ./internal/sim
 	$(GO) run -race ./cmd/serethsim -experiment crash -quick -runs 2
+
+# elision-smoke runs the SHA3-elision suite under the race detector:
+# the keccak invocation-counter contract, the hinted/memoized jump
+# table differentials and fuzz seed corpus against the raw CallGeneric
+# reference, the zero-keccak frozen-instance admission and batch-id
+# assertions, and the golden counter-pinned replay drop with
+# bit-identical receipts (sequential and parallel lanes).
+elision-smoke:
+	$(GO) test -race -run 'TestInvocations' ./internal/keccak
+	$(GO) test -race -run 'TestSha3|TestJumpTableMatchesGeneric|FuzzInterpreter' ./internal/evm
+	$(GO) test -race -run 'TestAdmitAdoptsFrozenInstance|TestNthPoolAdmissionZeroKeccak|TestVerifiedFlagDoesNotSurviveTamper' ./internal/txpool
+	$(GO) test -race -run 'TestBatchID|TestBroadcastTxsHashCount' ./internal/p2p
+	$(GO) test -race -run 'TestReplayKeccakCountDrop|TestParallelReplayElidesIdentically' ./internal/scenarios
 
 # serving-smoke runs the persistence and serving-tier suite under the
 # race detector: the store, trie/state persistence and snapshot

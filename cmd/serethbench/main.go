@@ -26,6 +26,7 @@ import (
 
 	"sereth/internal/asm"
 	"sereth/internal/chain"
+	"sereth/internal/evm"
 	"sereth/internal/keccak"
 	"sereth/internal/metrics"
 	"sereth/internal/node"
@@ -35,6 +36,7 @@ import (
 	"sereth/internal/sim"
 	"sereth/internal/statedb"
 	"sereth/internal/store"
+	"sereth/internal/txpool"
 	"sereth/internal/types"
 	"sereth/internal/wallet"
 )
@@ -63,7 +65,13 @@ type Record struct {
 	SalvageTornBytes  uint64 `json:"salvage_torn_bytes,omitempty"`
 	// exec/parallel-* rows: wall-time ratio of the sequential oracle
 	// replaying the same body (sequential ns/op ÷ this row's ns/op).
+	// keccak/elision-* rows reuse it for the elision-off twin's ns/op
+	// over this row's ns/op (the same-run elision speedup).
 	Speedup float64 `json:"speedup,omitempty"`
+	// keccak/elision-* rows: keccak digest finalizations per operation
+	// (keccak.Invocations delta) — the elision acceptance metric is
+	// hash count, not timing.
+	KeccakPerOp float64 `json:"keccak_per_op,omitempty"`
 	// serving/ rows: sustained request rate and latency percentiles of
 	// the HTTP JSON-RPC tier at the given client concurrency.
 	Clients    int     `json:"clients,omitempty"`
@@ -100,6 +108,9 @@ func main() {
 		case r.MsgsPerSec > 0:
 			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op %12.0f msgs/s\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.MsgsPerSec)
+		case strings.HasPrefix(r.Name, "keccak/elision"):
+			fmt.Printf("%-48s %12.0f ns/op   %8.2f keccaks/op speedup=%.2fx\n",
+				r.Name, r.NsPerOp, r.KeccakPerOp, r.Speedup)
 		case r.Speedup > 0:
 			fmt.Printf("%-48s %12.0f ns/op   %8d B/op %6d allocs/op %8.2fx vs sequential\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Speedup)
@@ -139,6 +150,9 @@ func main() {
 	add(keccakBench("keccak/sum256-1KB", 1024))
 	add(txAdmission())
 	add(admitBatch100())
+	for _, r := range elisionRows() {
+		add(r)
+	}
 	add(interp100Op())
 	add(journalChurn())
 	for _, r := range chaosRows() {
@@ -375,6 +389,104 @@ func txAdmission() Record {
 // (ns/op is per batch: one lock acquisition, one subscriber flush).
 func admitBatch100() Record {
 	return benchRecord("txpool/admit-batch-100", testing.Benchmark(scenarios.BenchAdmitBatch100))
+}
+
+// elisionRows measures the cross-layer SHA3 elision pipeline by hash
+// count and wall time. The paired replay rows insert the same 100-tx
+// golden body with the hint/memo path on (warm shared instances, the
+// steady-state serving configuration) and off (elision disabled plus a
+// cold signature registry per insert — the pre-elision behaviour of
+// every digest path); KeccakPerOp is the keccak.Invocations delta per
+// insert and the on-row's Speedup is the off-row's ns/op over its own,
+// so the file carries the same-run ratio rather than a cross-day
+// comparison. The admission row is the Nth-peer contract: admitting an
+// already-frozen gossiped instance into a fresh pool costs zero
+// digests.
+func elisionRows() []Record {
+	fixture := scenarios.NewReplayFixture(100)
+	countInsert := func(c *chain.Chain) float64 {
+		before := keccak.Invocations()
+		if _, err := c.InsertBlock(fixture.Block); err != nil {
+			fmt.Fprintln(os.Stderr, "serethbench: elision replay:", err)
+			os.Exit(1)
+		}
+		return float64(keccak.Invocations() - before)
+	}
+	coldReg := func() *wallet.Registry {
+		r := wallet.NewRegistry()
+		r.Register(fixture.Owner)
+		return r
+	}
+
+	evm.SetElisionDisabled(true)
+	offCount := countInsert(fixture.NewChainWithRegistry(coldReg()))
+	resOff := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := fixture.NewChainWithRegistry(coldReg())
+			b.StartTimer()
+			if _, err := c.InsertBlock(fixture.Block); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	evm.SetElisionDisabled(false)
+
+	// Warm-up insert: restores the shared instances' verified flags to
+	// the fixture registry after the cold-registry baseline runs.
+	if _, err := fixture.NewChain(nil).InsertBlock(fixture.Block); err != nil {
+		fmt.Fprintln(os.Stderr, "serethbench: elision warmup:", err)
+		os.Exit(1)
+	}
+	onCount := countInsert(fixture.NewChain(nil))
+	resOn := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := fixture.NewChain(nil)
+			b.StartTimer()
+			if _, err := c.InsertBlock(fixture.Block); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	off := benchRecord("keccak/elision-replay-100tx-off", resOff)
+	off.KeccakPerOp = offCount
+	on := benchRecord("keccak/elision-replay-100tx", resOn)
+	on.KeccakPerOp = onCount
+	if on.NsPerOp > 0 {
+		on.Speedup = off.NsPerOp / on.NsPerOp
+	}
+
+	key := wallet.NewKey("bench-elision-admit")
+	frozen := key.SignTx(&types.Transaction{
+		To:       types.Address{19: 0x42},
+		GasPrice: 10,
+		GasLimit: 300_000,
+		Data: types.EncodeCall(types.SelectorFor("set(bytes32[3])"),
+			types.FlagHead, types.Word{}, types.WordFromUint64(7)),
+	}).Memoize()
+	var admitKeccaks float64
+	resAdmit := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		pools := make([]*txpool.Pool, b.N)
+		for i := range pools {
+			pools[i] = txpool.New()
+		}
+		before := keccak.Invocations()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pools[i].Admit(frozen); err != nil {
+				b.Fatal(err)
+			}
+		}
+		admitKeccaks = float64(keccak.Invocations()-before) / float64(b.N)
+	})
+	admit := benchRecord("keccak/elision-admit-nth-peer", resAdmit)
+	admit.KeccakPerOp = admitKeccaks
+	return []Record{off, on, admit}
 }
 
 // interp100Op measures jump-table dispatch over pooled frames: one Call

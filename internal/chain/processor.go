@@ -137,6 +137,20 @@ func (p *Processor) applyTransaction(machine *evm.EVM, st execState, header *typ
 	hasCode := len(st.GetCode(tx.To)) > 0
 	postTransfer := st.Snapshot()
 
+	// Feed the admission-derived mark digest to the interpreter so the
+	// contract's own SHA3 over the same prevMark‖value bytes is elided.
+	// Set unconditionally (the zero hint clears): every lane — the
+	// sequential processor, the parallel workers and the serial re-run —
+	// applies transactions through this function, so all three elide
+	// identically, and a machine recycled across transactions can never
+	// carry a previous hint into a hint-less one.
+	var hint evm.TxHint
+	if input, mark, ok := tx.MarkHint(); ok {
+		hint.MarkInput, hint.Mark = input, mark
+		hint.PrevInput, hint.PrevDigest, _ = tx.PrevHint()
+	}
+	machine.SetTxHint(hint)
+
 	// Transactions execute WITHOUT RAA: calldata is signature-protected
 	// (paper §III-D), so the interpreter sees it verbatim.
 	res := machine.Call(evm.CallContext{

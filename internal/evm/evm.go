@@ -93,6 +93,13 @@ type EVM struct {
 	state State
 	block BlockContext
 	raa   RAAProvider
+
+	// Hash-elision layer (see elision.go): the executing transaction's
+	// admission-derived digest hint, cleared on Reset, and the
+	// block-scoped content-keyed SHA3 memo, which persists across Reset
+	// because its entries are content-verified and never stale.
+	hint TxHint
+	memo sha3Memo
 }
 
 // New returns an interpreter bound to the given state and block context.
@@ -104,8 +111,14 @@ func New(state State, block BlockContext) *EVM {
 // context and RAA provider. The parallel block processor points one
 // per-worker EVM at each transaction's speculative view; the pooled
 // interpreter frames (and their jumpdest memos) are shared through the
-// package-level pool either way.
-func (e *EVM) Reset(state State) { e.state = state }
+// package-level pool either way. The per-transaction hash hint is
+// cleared — a recycled worker machine must not carry the previous
+// transaction's hint — while the content-keyed SHA3 memo survives (its
+// hits are byte-verified, so entries can never go stale).
+func (e *EVM) Reset(state State) {
+	e.state = state
+	e.hint = TxHint{}
+}
 
 // SetRAAProvider installs (or clears, with nil) the RAA data service.
 // Only Sereth-mode clients install one; standard clients leave it unset

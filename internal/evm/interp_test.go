@@ -78,6 +78,29 @@ func diffRun(code, input []byte, gas uint64, readOnly bool) error {
 	if !stJT.equal(stGen) {
 		return fmt.Errorf("storage diverged: jump table %v, generic %v", stJT.storage, stGen.storage)
 	}
+
+	// Third run: the jump table again, but with a self-consistent
+	// admission-style elision hint over the calldata regions a memoized
+	// transaction would expose (64 bytes at offset 36 plus its 32-byte
+	// prefix — what MarkHint/PrevHint alias). Whatever the program
+	// hashes — the hinted region, a sub/super/shifted slice of it, or
+	// nothing — elision must be invisible against the raw reference.
+	stHint := newDiffState(code)
+	eh := New(stHint, block)
+	eh.SetTxHint(hintFor(input))
+	resHint := eh.Call(ctx)
+	if resHint.Err != resGen.Err {
+		return fmt.Errorf("hinted err: jump table %v, generic %v", resHint.Err, resGen.Err)
+	}
+	if resHint.GasUsed != resGen.GasUsed {
+		return fmt.Errorf("hinted gas used: jump table %d, generic %d", resHint.GasUsed, resGen.GasUsed)
+	}
+	if !bytes.Equal(resHint.ReturnData, resGen.ReturnData) {
+		return fmt.Errorf("hinted return data: jump table %x, generic %x", resHint.ReturnData, resGen.ReturnData)
+	}
+	if !stHint.equal(stGen) {
+		return fmt.Errorf("hinted storage diverged: jump table %v, generic %v", stHint.storage, stGen.storage)
+	}
 	return nil
 }
 
@@ -227,6 +250,19 @@ func FuzzInterpreter(f *testing.F) {
 	// Memory ranges at the 2^64 wrap boundary (the expand() overflow).
 	f.Add([]byte{byte(PUSH1) + 7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, byte(PUSH1), 0, byte(SHA3)}, []byte{}, uint64(100_000))
 	f.Add([]byte{byte(PUSH1) + 7, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xef, byte(PUSH1), 16, byte(RETURN)}, []byte{}, uint64(100_000))
+	// Elision-adversarial shapes (the 100-byte calldata arms the
+	// admission-style hint inside diffRun): SHA3 over 63/64/65-byte
+	// regions aligned with, straddling and shifted off the hinted
+	// 64-byte region at offset 36, plus a hash-then-REVERT frame and a
+	// repeated equal-content hash driving the memo.
+	elisionInput := seqBytes(128)
+	f.Add(sha3Prog(36, 64, false), elisionInput, uint64(100_000)) // exact hint hit
+	f.Add(sha3Prog(36, 63, false), elisionInput, uint64(100_000))
+	f.Add(sha3Prog(36, 65, false), elisionInput, uint64(100_000))
+	f.Add(sha3Prog(35, 64, false), elisionInput, uint64(100_000)) // shifted one byte
+	f.Add(sha3Prog(36, 32, false), elisionInput, uint64(100_000)) // prev-hint hit
+	f.Add(sha3Prog(36, 64, true), elisionInput, uint64(100_000))  // reverted frame
+	f.Add(append(sha3Prog(36, 64, false)[:12], sha3Prog(36, 64, false)...), elisionInput, uint64(100_000))
 	f.Fuzz(func(t *testing.T, code, input []byte, gas uint64) {
 		if len(code) > 4096 || len(input) > 4096 {
 			return

@@ -1,7 +1,6 @@
 package evm
 
 import (
-	"sereth/internal/types"
 	"sereth/internal/uint256"
 )
 
@@ -370,8 +369,11 @@ func opSha3(in *interpreter, _ *uint64) ([]byte, error) {
 	if err := in.chargeMemory(off, size); err != nil {
 		return nil, err
 	}
-	h := types.Keccak(in.mem.view(off, size))
-	in.stack.upush(intOf(h.Word()))
+	// Gas is charged identically either way; only the digest itself may
+	// be served from the elision layer (per-tx hint / content memo)
+	// instead of the sponge. CallGeneric's SHA3 stays on the raw sponge
+	// as the differential reference.
+	in.stack.upush(intOf(in.evm.sha3(in.mem.view(off, size))))
 	return nil, nil
 }
 

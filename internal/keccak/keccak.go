@@ -41,6 +41,7 @@ func xorIn(st *[25]uint64, b []byte) {
 // legacy 0x01/0x80 domain padding directly into the lanes, and runs the
 // final permutation. Destructive on st.
 func finalize(st *[25]uint64, tail []byte) {
+	invocations.Add(1)
 	i := 0
 	for ; i+8 <= len(tail); i += 8 {
 		st[i>>3] ^= leUint64(tail[i:])

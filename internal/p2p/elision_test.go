@@ -1,0 +1,73 @@
+package p2p
+
+import (
+	"testing"
+
+	"sereth/internal/keccak"
+	"sereth/internal/types"
+)
+
+// TestBatchIDBitIdenticalToVarargsForm pins the refactored dedup key:
+// hashing one flat concatenation of the member hashes must produce the
+// exact digest the old per-member [][]byte varargs form did, so batch
+// envelope ids — and therefore multihop delivery traces — are unchanged
+// across versions.
+func TestBatchIDBitIdenticalToVarargsForm(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100} {
+		members := make([][]byte, n)
+		flat := make([]byte, 0, n*types.HashLength)
+		for i := range members {
+			h := types.Keccak([]byte{byte(i), byte(n)})
+			members[i] = h.Bytes()
+			flat = append(flat, h[:]...)
+		}
+		if types.Keccak(members...) != types.Keccak(flat) {
+			t.Fatalf("n=%d: flat-buffer digest differs from varargs digest", n)
+		}
+	}
+}
+
+// TestBroadcastTxsHashCount asserts the batch gossip hash budget by
+// count: with pre-frozen members, a multihop batch broadcast costs
+// exactly ONE keccak (the envelope dedup id) end to end — relays reuse
+// the id — and a full-mesh broadcast costs zero.
+func TestBroadcastTxsHashCount(t *testing.T) {
+	mkTxs := func() []*types.Transaction {
+		txs := make([]*types.Transaction, 10)
+		for i := range txs {
+			txs[i] = (&types.Transaction{Nonce: uint64(i), GasLimit: 1, Data: []byte{byte(i)}}).Memoize()
+		}
+		return txs
+	}
+
+	ring := NewNetwork(Config{LatencyMs: 1, Topology: Ring()})
+	sinks := make([]*recorder, 6)
+	for i := range sinks {
+		sinks[i] = &recorder{}
+		ring.Join(PeerID(i+1), sinks[i])
+	}
+	txs := mkTxs()
+	before := keccak.Invocations()
+	ring.BroadcastTxs(1, txs)
+	ring.AdvanceTo(100) // all hops delivered
+	if n := keccak.Invocations() - before; n != 1 {
+		t.Errorf("multihop batch broadcast: %d keccak invocations, want 1 (the dedup id)", n)
+	}
+	for i, s := range sinks[1:] {
+		if got := len(s.txs); got != len(txs) {
+			t.Errorf("peer %d received %d txs, want %d", i+2, got, len(txs))
+		}
+	}
+
+	mesh := NewNetwork(Config{LatencyMs: 1})
+	a, b := &recorder{}, &recorder{}
+	mesh.Join(1, a)
+	mesh.Join(2, b)
+	txs = mkTxs()
+	before = keccak.Invocations()
+	mesh.BroadcastTxs(1, txs)
+	mesh.AdvanceTo(100)
+	if n := keccak.Invocations() - before; n != 0 {
+		t.Errorf("mesh batch broadcast: %d keccak invocations, want 0", n)
+	}
+}

@@ -290,12 +290,18 @@ func (n *Network) BroadcastTxs(from PeerID, txs []*types.Transaction) {
 	}
 	env := &envelope{kind: MsgTxBatch, from: from, txs: shared}
 	if n.topo != nil {
-		hashes := make([][]byte, len(shared))
-		for i, tx := range shared {
+		// Every member was frozen above, so each Hash() is a cached
+		// read — the only sponge here is the one over the id buffer.
+		// Flat concatenation into a single buffer absorbs to exactly
+		// the same digest as the old per-member [][]byte form (ids stay
+		// bit-identical across versions) without the per-member Bytes()
+		// allocations.
+		buf := make([]byte, 0, len(shared)*types.HashLength)
+		for _, tx := range shared {
 			h := tx.Hash()
-			hashes[i] = h.Bytes()
+			buf = append(buf, h[:]...)
 		}
-		env.id = types.Keccak(hashes...)
+		env.id = types.Keccak(buf)
 	}
 	n.gossip(env)
 }

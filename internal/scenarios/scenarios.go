@@ -189,6 +189,7 @@ func StateFixture(n int) (*statedb.StateDB, []types.Address) {
 // consumer needs to spin up fresh validator chains against it.
 type ReplayFixture struct {
 	Registry *wallet.Registry
+	Owner    *wallet.Key // the single signing key behind every body tx
 	Genesis  *statedb.StateDB
 	Block    *types.Block
 	gasLimit uint64
@@ -244,10 +245,19 @@ func NewReplayFixture(n int) *ReplayFixture {
 	header.GasUsed = res.GasUsed
 	return &ReplayFixture{
 		Registry: reg,
+		Owner:    owner,
 		Genesis:  genesis,
 		Block:    block,
 		gasLimit: gasLimit,
 	}
+}
+
+// NewChainWithRegistry is NewChain against a different signature
+// registry. The elision tests use it with a cold registry (same Owner
+// key, fresh Registry instance) to measure un-cached verification —
+// the pre-elision baseline a replay's hash count is pinned against.
+func (f *ReplayFixture) NewChainWithRegistry(reg *wallet.Registry) *chain.Chain {
+	return chain.New(chain.Config{GasLimit: f.gasLimit, Registry: reg}, f.Genesis)
 }
 
 // NewChain returns a fresh validator chain at the fixture's genesis,

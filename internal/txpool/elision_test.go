@@ -1,0 +1,152 @@
+package txpool
+
+import (
+	"testing"
+
+	"sereth/internal/keccak"
+	"sereth/internal/types"
+	"sereth/internal/wallet"
+)
+
+func frozenSignedTx(key *wallet.Key, nonce uint64) *types.Transaction {
+	sel := types.SelectorFor("set(bytes32[3])")
+	tx := &types.Transaction{
+		Nonce:    nonce,
+		To:       types.Address{19: 0x42},
+		GasPrice: 10,
+		GasLimit: 300_000,
+		Data:     types.EncodeCall(sel, types.FlagHead, types.Word{}, types.WordFromUint64(7)),
+	}
+	return key.SignTx(tx).Memoize()
+}
+
+// TestAdmitAdoptsFrozenInstance pins the cross-pool sharing contract: a
+// memoized transaction is adopted by the pool as-is (the snapshot holds
+// the very same instance, in every pool it is admitted to), while an
+// unmemoized one is defensively copied — and mutable accessors keep
+// returning unmemoized copies either way.
+func TestAdmitAdoptsFrozenInstance(t *testing.T) {
+	key := wallet.NewKey("elision-pool")
+	frozen := frozenSignedTx(key, 0)
+
+	poolA, poolB := New(), New()
+	for _, p := range []*Pool{poolA, poolB} {
+		got, err := p.Admit(frozen)
+		if err != nil {
+			t.Fatalf("admit frozen: %v", err)
+		}
+		if got != frozen {
+			t.Fatal("frozen instance was copied instead of adopted")
+		}
+		snap, _ := p.Snapshot()
+		if len(snap) != 1 || snap[0] != frozen {
+			t.Fatal("snapshot does not share the adopted frozen instance")
+		}
+		// The mutable view must never leak the frozen cache.
+		if cp := p.Get(frozen.Hash()); cp == frozen || cp.Memoized() {
+			t.Fatal("Get leaked the frozen instance or its derived cache")
+		}
+		if pend := p.Pending(); len(pend) != 1 || pend[0] == frozen || pend[0].Memoized() {
+			t.Fatal("Pending leaked the frozen instance or its derived cache")
+		}
+	}
+
+	mutable := frozenSignedTx(key, 1).Copy() // unmemoized caller-owned instance
+	got, err := poolA.Admit(mutable)
+	if err != nil {
+		t.Fatalf("admit mutable: %v", err)
+	}
+	if got == mutable {
+		t.Fatal("caller-owned mutable instance must be copied on admission")
+	}
+
+	// Batch admission adopts the same way.
+	frozen2 := frozenSignedTx(key, 2)
+	admitted, errs := poolB.AdmitBatch([]*types.Transaction{frozen2, frozenSignedTx(key, 3).Copy()})
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("batch admit: %v %v", errs[0], errs[1])
+	}
+	if admitted[0] != frozen2 {
+		t.Fatal("AdmitBatch copied a frozen instance")
+	}
+	if !admitted[1].Memoized() {
+		t.Fatal("AdmitBatch must freeze the copied instance")
+	}
+}
+
+// TestNthPoolAdmissionZeroKeccak is the headline elision assertion: once
+// a gossiped transaction has been verified and admitted anywhere in the
+// process, every further pool that admits the shared frozen instance —
+// signature validation included — performs ZERO keccak invocations.
+func TestNthPoolAdmissionZeroKeccak(t *testing.T) {
+	reg := wallet.NewRegistry()
+	key := wallet.NewKey("elision-npeer")
+	reg.Register(key)
+	validator := WithValidator(func(tx *types.Transaction) error { return reg.VerifyTx(tx) })
+
+	frozen := frozenSignedTx(key, 0)
+
+	// First pool: pays the one verification (the Sign recomputation).
+	first := New(validator)
+	before := keccak.Invocations()
+	if _, err := first.Admit(frozen); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if n := keccak.Invocations() - before; n == 0 {
+		t.Fatal("first admission should have verified the signature (≥1 keccak)")
+	}
+
+	// Nth pools: admission of the already-gossiped instance is a pure
+	// cache hit — no identity hash, no sig digest, no verification.
+	for i := 0; i < 5; i++ {
+		nth := New(validator)
+		before = keccak.Invocations()
+		if _, err := nth.Admit(frozen); err != nil {
+			t.Fatalf("pool %d admit: %v", i, err)
+		}
+		if n := keccak.Invocations() - before; n != 0 {
+			t.Fatalf("pool %d admission: %d keccak invocations, want 0", i, n)
+		}
+	}
+
+	// Batch path too.
+	batchPool := New(validator)
+	before = keccak.Invocations()
+	if _, errs := batchPool.AdmitBatch([]*types.Transaction{frozen}); errs[0] != nil {
+		t.Fatalf("batch admit: %v", errs[0])
+	}
+	if n := keccak.Invocations() - before; n != 0 {
+		t.Fatalf("batch admission of frozen instance: %d keccak invocations, want 0", n)
+	}
+}
+
+// TestVerifiedFlagDoesNotSurviveTamper pins forge-safety: mutating a
+// copy of a verified transaction (the forger adversary's move) must
+// re-verify and fail — the flag lives in the derived cache that Copy
+// drops.
+func TestVerifiedFlagDoesNotSurviveTamper(t *testing.T) {
+	reg := wallet.NewRegistry()
+	key := wallet.NewKey("elision-tamper")
+	reg.Register(key)
+	frozen := frozenSignedTx(key, 0)
+	if err := reg.VerifyTx(frozen); err != nil {
+		t.Fatalf("honest verify: %v", err)
+	}
+
+	forged := frozen.Copy()
+	forged.Value = 1_000_000 // tampered content, stale signature
+	if forged.Memoized() {
+		t.Fatal("copy must drop the derived cache")
+	}
+	if err := reg.VerifyTx(forged); err == nil {
+		t.Fatal("tampered copy passed verification via a leaked cached flag")
+	}
+	// And the honest instance still passes from cache.
+	before := keccak.Invocations()
+	if err := reg.VerifyTx(frozen); err != nil {
+		t.Fatalf("honest re-verify: %v", err)
+	}
+	if n := keccak.Invocations() - before; n != 0 {
+		t.Fatalf("cached re-verify: %d keccak invocations, want 0", n)
+	}
+}

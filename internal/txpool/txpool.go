@@ -210,11 +210,18 @@ func (p *Pool) Admit(tx *types.Transaction) (*types.Transaction, error) {
 			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 		}
 	}
-	// The pool's instance is private and, once admitted, treated as
-	// immutable. Only the identity hash is computed up front (the
-	// duplicate check needs it); the rest of the derived data is memoized
-	// on the admit path below, so rejected adds don't pay for it.
-	tx = tx.Copy()
+	// The pool's instance is immutable once admitted. An already-frozen
+	// (memoized) transaction — a gossiped pool instance from another
+	// peer — is adopted as-is: it carries its derived data (identity
+	// hash, sig digest, mark, verified-signature flag), so admission is
+	// a cache hit with no copy and no re-derivation, and every pool in
+	// the process shares one frozen instance. A mutable caller-owned
+	// transaction is copied first; only its identity hash is computed up
+	// front (the duplicate check needs it) and the rest is memoized on
+	// the admit path below, so rejected adds don't pay for it.
+	if !tx.Memoized() {
+		tx = tx.Copy()
+	}
 	hash := tx.Hash()
 
 	p.mu.Lock()
@@ -250,7 +257,12 @@ func (p *Pool) AdmitBatch(txs []*types.Transaction) (admitted []*types.Transacti
 				continue
 			}
 		}
-		cp := tx.Copy()
+		// Frozen instances are adopted without a copy, exactly as in
+		// Admit — for a gossiped batch the hash below is a cached read.
+		cp := tx
+		if !cp.Memoized() {
+			cp = tx.Copy()
+		}
 		hashes[i] = cp.Hash()
 		admitted[i] = cp
 	}

@@ -3,6 +3,7 @@ package types
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sereth/internal/keccak"
 	"sereth/internal/rlp"
@@ -40,6 +41,20 @@ type txDerived struct {
 	fpv     FPV
 	fpvErr  error
 	mark    Word // NextMark(fpv.PrevMark, fpv.Value); zero unless fpvErr == nil
+	// prevDigest is Keccak over the 32-byte prevMark calldata region —
+	// the digest the contract's mark check derives from the same bytes.
+	// Deriving it at admission lets the interpreter elide that SHA3 too
+	// (and, on the success path, the equal-content hash of the stored
+	// mark). Zero unless fpvErr == nil.
+	prevDigest Word
+
+	// sigOK publishes the identity token of the verifier that has
+	// already checked this frozen instance's signature (in practice the
+	// *wallet.Registry pointer). Unlike the fields above it is written
+	// after publication, hence the atomic. Because Copy drops the whole
+	// derived block, a mutated copy can never inherit the flag — the
+	// invariant that keeps cached verification forge-safe.
+	sigOK atomic.Value
 }
 
 // Memoize computes and caches the transaction's derived data — identity
@@ -75,6 +90,11 @@ func (tx *Transaction) MemoizeWithHash(hash Hash) *Transaction {
 		// two words through an FPV copy. Equals NextMark(PrevMark, Value)
 		// bit-for-bit (pinned by TestMemoizedMarkMatchesNextMark).
 		d.mark = Word(keccak.Sum256(tx.Data[SelectorLength+WordLength : SelectorLength+3*WordLength]))
+		// The mark-check digest over the 32-byte prevMark region. One
+		// extra sponge at admission — paid once per transaction
+		// process-wide (frozen instances are shared across pools) —
+		// erases one SHA3 from every subsequent execution of the tx.
+		d.prevDigest = Word(keccak.Sum256(tx.Data[SelectorLength+WordLength : SelectorLength+2*WordLength]))
 	}
 	tx.derived = d
 	return tx
@@ -235,6 +255,59 @@ func (tx *Transaction) Mark() (Word, bool) {
 		return Word{}, false
 	}
 	return NextMark(fpv.PrevMark, fpv.Value), true
+}
+
+// MarkHint exposes the admission-derived hash-elision hint: the exact
+// calldata region (the contiguous 64-byte prevMark ‖ value slice) whose
+// Keccak-256 digest the memoized mark is, plus that mark. The chain
+// processor feeds it to the interpreter so the contract's own mark
+// derivation over those same bytes becomes a cache hit. ok is false on
+// unmemoized transactions and on calldata without an FPV tuple. The
+// returned slice aliases tx.Data; memoized transactions are frozen, so
+// callers must treat it as read-only.
+func (tx *Transaction) MarkHint() (input []byte, mark Word, ok bool) {
+	d := tx.derived
+	if d == nil || d.fpvErr != nil {
+		return nil, Word{}, false
+	}
+	return tx.Data[SelectorLength+WordLength : SelectorLength+3*WordLength], d.mark, true
+}
+
+// PrevHint is MarkHint's companion for the mark-check digest: the
+// 32-byte prevMark calldata region and its Keccak-256 digest, derived
+// at admission. Same aliasing and ok semantics as MarkHint.
+func (tx *Transaction) PrevHint() (input []byte, digest Word, ok bool) {
+	d := tx.derived
+	if d == nil || d.fpvErr != nil {
+		return nil, Word{}, false
+	}
+	return tx.Data[SelectorLength+WordLength : SelectorLength+2*WordLength], d.prevDigest, true
+}
+
+// SigVerifiedBy reports whether the given verifier token has already
+// validated this frozen transaction's signature (see MarkSigVerified).
+// Always false on unmemoized transactions.
+func (tx *Transaction) SigVerifiedBy(token any) bool {
+	d := tx.derived
+	if d == nil {
+		return false
+	}
+	v := d.sigOK.Load()
+	return v != nil && v == token
+}
+
+// MarkSigVerified records that the verifier identified by token checked
+// the signature of this frozen instance, so the Nth verification of a
+// shared gossiped transaction is a pointer compare instead of a keyed
+// Keccak. token must be comparable and identify both the verifier and
+// its key material (the wallet registry passes its own pointer, sound
+// because registered keys are only ever added, never replaced). No-op
+// on unmemoized transactions: a mutable copy must not carry the flag.
+// Tokens of different concrete types must not be mixed on one instance.
+func (tx *Transaction) MarkSigVerified(token any) {
+	if d := tx.derived; d != nil {
+		d.sigOK.Store(token)
+	}
 }
 
 // Copy returns a deep, unmemoized copy of the transaction. The derived

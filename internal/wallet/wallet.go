@@ -81,8 +81,18 @@ func (r *Registry) Register(k *Key) {
 }
 
 // VerifyTx checks that the transaction's signature matches its contents
-// and claimed sender.
+// and claimed sender. A frozen (memoized) transaction this registry has
+// already verified passes on a cached token compare — the shared pool
+// instance a gossiped transaction arrives as is verified once per
+// registry, not once per pool/importer. Caching on the registry pointer
+// is sound because keys are only ever registered, never replaced, so a
+// past verification can never be invalidated; mutable copies drop the
+// derived cache (and with it the flag), so a tampered transaction
+// always re-verifies and fails.
 func (r *Registry) VerifyTx(tx *types.Transaction) error {
+	if tx.SigVerifiedBy(r) {
+		return nil
+	}
 	r.mu.RLock()
 	k, ok := r.keys[tx.From]
 	r.mu.RUnlock()
@@ -92,6 +102,7 @@ func (r *Registry) VerifyTx(tx *types.Transaction) error {
 	if k.Sign(tx.SigHash()) != tx.Sig {
 		return ErrBadSignature
 	}
+	tx.MarkSigVerified(r)
 	return nil
 }
 
